@@ -1,0 +1,32 @@
+"""Shared fixtures for the benchmark suite.
+
+Each ``test_fig*`` / ``test_table*`` module regenerates one table or
+figure of the paper's evaluation: it runs the experiment through
+pytest-benchmark (so regeneration cost is tracked) and prints the same
+rows/series the paper reports.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.gridpocket_runs import table1_selectivities
+from repro.perfmodel import IngestSimulation
+
+
+@pytest.fixture(scope="session")
+def simulation() -> IngestSimulation:
+    return IngestSimulation()
+
+
+@pytest.fixture(scope="session")
+def table1_rows():
+    """Functional Table-I selectivity measurements (cached: ~10 s)."""
+    return table1_selectivities()
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Benchmark an experiment that is too slow for repeated rounds."""
+    return benchmark.pedantic(
+        function, args=args, kwargs=kwargs, rounds=1, iterations=1
+    )

@@ -1,0 +1,31 @@
+"""Fig. 1: the motivating plot -- ingest-then-compute query time grows
+linearly with dataset size.
+
+Paper: "executing a given query on increasingly larger datasets involves
+a linear growth in query completion times."
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig1_ingest_scaling, render_table
+
+SIZES_GB = (5, 10, 20, 30, 40, 50)
+
+
+def test_fig1_ingest_then_compute_scaling(benchmark):
+    points = run_once(benchmark, fig1_ingest_scaling, SIZES_GB)
+    render_table(
+        "Fig. 1 -- ingest-then-compute query time vs dataset size",
+        ["dataset (GB)", "query time (s)", "s/GB"],
+        [
+            [p.dataset_gb, p.query_seconds, p.query_seconds / p.dataset_gb]
+            for p in points
+        ],
+    )
+    # The paper's observation: growth is linear (constant marginal cost).
+    marginal = [
+        (points[i + 1].query_seconds - points[i].query_seconds)
+        / (points[i + 1].dataset_gb - points[i].dataset_gb)
+        for i in range(len(points) - 1)
+    ]
+    spread = max(marginal) - min(marginal)
+    assert spread < 0.25 * max(marginal)

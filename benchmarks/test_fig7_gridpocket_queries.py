@@ -1,0 +1,48 @@
+"""Fig. 7: S_Q of the seven real GridPocket queries on the small (50 GB)
+and medium (500 GB) datasets, with absolute plain/pushdown times.
+
+Paper headline for the batch: importing a fresh 500 GB per query, the
+whole query set takes 4,814.7 s plain vs 155.48 s with Scoop.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig7_gridpocket_speedups, render_table
+from repro.experiments.gridpocket_runs import fig7_total_batch_seconds
+
+
+def test_fig7_gridpocket_query_speedups(benchmark, table1_rows):
+    rows = run_once(
+        benchmark,
+        fig7_gridpocket_speedups,
+        ("small", "medium"),
+        None,
+        table1_rows,
+    )
+    for dataset in ("small", "medium"):
+        subset = [r for r in rows if r.dataset == dataset]
+        render_table(
+            f"Fig. 7 -- GridPocket query speedups ({dataset} dataset)",
+            [
+                "query",
+                "dataset",
+                "data sel.",
+                "plain (s)",
+                "pushdown (s)",
+                "S_Q",
+            ],
+            [r.as_row() for r in subset],
+        )
+
+    plain_total, pushdown_total = fig7_total_batch_seconds(rows, "medium")
+    render_table(
+        "Fig. 7 -- whole-batch totals on 500 GB (paper: 4814.7 vs 155.5 s)",
+        ["plain total (s)", "pushdown total (s)", "batch speedup"],
+        [[plain_total, pushdown_total, plain_total / pushdown_total]],
+    )
+
+    for row in rows:
+        assert row.speedup > 2.0, row.query_name
+    medium = [r.speedup for r in rows if r.dataset == "medium"]
+    small = [r.speedup for r in rows if r.dataset == "small"]
+    assert min(medium) > max(small) * 0.9  # larger dataset gains more
+    assert plain_total > pushdown_total * 10

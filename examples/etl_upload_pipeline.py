@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""ETL on the upload path: active storage beyond query pushdown.
+
+The paper (Section V-A): "ETL often requires data transformations.
+Storlets permits this in the PUT data path.  We use Storlet for data
+cleansing and for modifying the data format (e.g., split a column into
+multiple ones).  These transformations simplify Spark workloads without
+requiring painful rewrites of huge data sets."
+
+This example uploads messy sensor dumps through two PUT-path storlets
+enforced by container policies -- a column splitter that breaks a
+combined timestamp into date and time, then a cleanser that drops
+malformed records -- and queries the shaped result.
+
+Run:  python examples/etl_upload_pipeline.py
+"""
+
+import json
+
+from repro import ScoopContext, Schema
+from repro.storlets import ColumnSplitStorlet
+from repro.storlets.engine import StorletPolicy
+
+
+RAW_DUMP = b"""M001,2015-01-01 00:10:00,12.5,Rotterdam
+M002,2015-01-01 00:10:00,7.25,Paris
+garbage line that is not a reading
+M003,2015-01-01 00:10:00,not-a-number,Berlin
+M001,2015-01-01 00:20:00,13.0,Rotterdam
+M002 , 2015-01-01 00:20:00 , 7.5 , Paris
+"""
+
+RAW_SCHEMA = Schema.of("vid", "stamp", "index:float", "city")
+SHAPED_SCHEMA = Schema.of("vid", "day", "time", "index:float", "city")
+
+
+def main() -> None:
+    ctx = ScoopContext(storage_node_count=3)
+    ctx.client.put_container("readings")
+
+    # Policy 1: cleanse against the raw schema -- drops the garbage line
+    # and the record whose index does not parse, and trims whitespace.
+    ctx.engine.set_policy(
+        ctx.client.account,
+        "readings",
+        StorletPolicy(
+            storlet="etl-cleanse",
+            method="PUT",
+            parameters={"schema": RAW_SCHEMA.to_header()},
+        ),
+    )
+    # Policy 2: split the combined timestamp column into day + time.
+    ctx.engine.set_policy(
+        ctx.client.account,
+        "readings",
+        StorletPolicy(
+            storlet=ColumnSplitStorlet.name,
+            method="PUT",
+            parameters={"column": "1", "parts": "2"},
+        ),
+    )
+
+    print("uploading a messy dump through the ETL pipeline...")
+    ctx.client.put_object("readings", "dump-001.csv", RAW_DUMP)
+    _headers, shaped = ctx.client.get_object("readings", "dump-001.csv")
+    print("stored object after PUT-path storlets:")
+    print(shaped.decode())
+
+    headers = ctx.client.head_object("readings", "dump-001.csv")
+    print(
+        "cleansing report from object metadata: kept="
+        f"{headers.get('x-object-meta-etl-kept')} "
+        f"dropped={headers.get('x-object-meta-etl-dropped')}"
+    )
+
+    # The shaped data is immediately queryable -- with pushdown on the
+    # *new* columns the splitter created.
+    ctx.register_csv_table("readings", "readings", schema=SHAPED_SCHEMA)
+    frame, report = ctx.run_query(
+        "SELECT vid, time, index FROM readings "
+        "WHERE day LIKE '2015-01-01' AND city LIKE 'P%' ORDER BY time"
+    )
+    print("query over the shaped data (filtered at the store):")
+    frame.show()
+    print(f"data selectivity: {report.data_selectivity * 100:.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,276 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+``demo``
+    The quickstart flow: upload generated meter data, run a query with
+    and without pushdown, print results + ingest savings.
+``generate``
+    Write a synthetic GridPocket dataset as CSV files to a directory.
+``experiment``
+    Regenerate one (or all) of the paper's tables/figures and print it.
+``queries``
+    List the seven Table-I GridPocket queries.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import List, Optional
+
+EXPERIMENT_NAMES = (
+    "fig1",
+    "table1",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "staging",
+    "chunks",
+    "compression",
+    "adaptive",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Scoop (ICDE 2017) reproduction: object-store SQL pushdown"
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    demo = commands.add_parser("demo", help="end-to-end pushdown demo")
+    demo.add_argument("--meters", type=int, default=50)
+    demo.add_argument("--intervals", type=int, default=1000)
+
+    generate = commands.add_parser(
+        "generate", help="write a synthetic dataset as CSV files"
+    )
+    generate.add_argument("out_dir", type=pathlib.Path)
+    generate.add_argument("--meters", type=int, default=100)
+    generate.add_argument("--intervals", type=int, default=1440)
+    generate.add_argument("--interval-minutes", type=int, default=10)
+    generate.add_argument("--objects", type=int, default=4)
+    generate.add_argument("--seed", type=int, default=20170417)
+    generate.add_argument(
+        "--header", action="store_true", help="prepend a header line"
+    )
+
+    experiment = commands.add_parser(
+        "experiment", help="regenerate a table/figure of the paper"
+    )
+    experiment.add_argument(
+        "name", choices=EXPERIMENT_NAMES + ("all",), help="which artifact"
+    )
+
+    commands.add_parser("queries", help="list the Table-I queries")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "demo":
+        return _demo(args)
+    if args.command == "generate":
+        return _generate(args)
+    if args.command == "experiment":
+        return _experiment(args)
+    if args.command == "queries":
+        return _queries()
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+def _demo(args) -> int:
+    from repro.core import ScoopContext
+    from repro.gridpocket import DatasetSpec, METER_SCHEMA, upload_dataset
+
+    ctx = ScoopContext()
+    spec = DatasetSpec(
+        meters=args.meters, intervals=args.intervals, objects=4
+    )
+    sizes = upload_dataset(ctx.client, "meters", spec)
+    print(f"uploaded {sum(sizes.values()):,} bytes over {len(sizes)} objects")
+    ctx.register_csv_table("largeMeter", "meters", schema=METER_SCHEMA)
+    ctx.register_csv_table(
+        "plain", "meters", schema=METER_SCHEMA, pushdown=False
+    )
+    sql = (
+        "SELECT vid, sum(index) AS total FROM {} "
+        "WHERE city LIKE 'Rotterdam' AND date LIKE '2015-01%' "
+        "GROUP BY vid ORDER BY vid LIMIT 10"
+    )
+    frame, report = ctx.run_query(sql.format("largeMeter"))
+    plain_frame, plain_report = ctx.run_query(sql.format("plain"))
+    assert frame.collect() == plain_frame.collect()
+    frame.show()
+    print(
+        f"\npushdown moved {report.bytes_transferred:,} bytes; "
+        f"plain ingest moved {plain_report.bytes_transferred:,} "
+        f"(data selectivity {report.data_selectivity:.1%})"
+    )
+    return 0
+
+
+def _generate(args) -> int:
+    from repro.gridpocket import DatasetSpec, METER_SCHEMA
+    from repro.gridpocket.generator import MeterDataGenerator
+
+    spec = DatasetSpec(
+        meters=args.meters,
+        intervals=args.intervals,
+        interval_minutes=args.interval_minutes,
+        objects=args.objects,
+        seed=args.seed,
+    )
+    args.out_dir.mkdir(parents=True, exist_ok=True)
+    total = 0
+    for name, data in MeterDataGenerator(spec).csv_objects():
+        target = args.out_dir / name
+        if args.header:
+            header = (",".join(METER_SCHEMA.names) + "\n").encode()
+            data = header + data
+        target.write_bytes(data)
+        total += len(data)
+        print(f"  wrote {target} ({len(data):,} bytes)")
+    print(f"{spec.total_rows():,} rows, {total:,} bytes total")
+    return 0
+
+
+def _experiment(args) -> int:
+    from repro import experiments as exp
+
+    chosen = EXPERIMENT_NAMES if args.name == "all" else (args.name,)
+    for name in chosen:
+        _run_experiment(exp, name)
+    return 0
+
+
+def _run_experiment(exp, name: str) -> None:
+    if name == "fig1":
+        points = exp.fig1_ingest_scaling()
+        exp.render_table(
+            "Fig. 1 -- ingest-then-compute vs dataset size",
+            ["GB", "seconds"],
+            [[p.dataset_gb, p.query_seconds] for p in points],
+        )
+    elif name == "table1":
+        exp.render_table(
+            "Table I -- GridPocket query selectivities",
+            ["query", "col", "row", "data", "paper data"],
+            [row.as_row() for row in exp.table1_selectivities()],
+        )
+    elif name == "fig5":
+        points = exp.fig5_speedup_grid()
+        exp.render_table(
+            "Fig. 5 -- S_Q vs selectivity",
+            ["dataset", "type", "selectivity", "S_Q"],
+            [
+                [p.dataset, p.selectivity_type, p.selectivity, p.speedup]
+                for p in points
+            ],
+        )
+    elif name == "fig6":
+        points = exp.fig6_high_selectivity()
+        exp.render_table(
+            "Fig. 6 -- S_Q at high selectivity",
+            ["dataset", "selectivity", "S_Q"],
+            [[p.dataset, p.selectivity, p.speedup] for p in points],
+        )
+    elif name == "fig7":
+        rows = exp.fig7_gridpocket_speedups()
+        exp.render_table(
+            "Fig. 7 -- GridPocket query speedups",
+            ["query", "dataset", "sel", "plain s", "scoop s", "S_Q"],
+            [r.as_row() for r in rows],
+        )
+    elif name == "fig8":
+        points = exp.fig8_parquet_comparison()
+        exp.render_table(
+            "Fig. 8 -- Scoop vs Parquet",
+            ["selectivity", "scoop", "parquet"],
+            [
+                [p.selectivity, p.scoop_speedup, p.parquet_speedup]
+                for p in points
+            ],
+        )
+    elif name == "fig9":
+        summary = exp.fig9_resource_usage().summary()
+        exp.render_table(
+            "Fig. 9 -- resource usage (3TB, 99% selectivity)",
+            ["metric", "value"],
+            sorted(summary.items()),
+        )
+    elif name == "fig10":
+        plain, pushdown = exp.fig10_storage_cpu()
+        exp.render_table(
+            "Fig. 10 -- storage CPU",
+            ["series", "mean", "peak"],
+            [
+                ["plain", plain.mean(), plain.peak()],
+                ["scoop", pushdown.mean(), pushdown.peak()],
+            ],
+        )
+    elif name == "staging":
+        exp.render_table(
+            "Ablation -- staging",
+            ["selectivity", "object s", "proxy s"],
+            [
+                [r.selectivity, r.object_node_seconds, r.proxy_seconds]
+                for r in exp.ablation_staging()
+            ],
+        )
+    elif name == "chunks":
+        exp.render_table(
+            "Ablation -- chunk size",
+            ["chunk MB", "tasks", "seconds"],
+            [
+                [r.chunk_mb, r.task_count, r.pushdown_seconds]
+                for r in exp.ablation_chunk_size()
+            ],
+        )
+    elif name == "compression":
+        exp.render_table(
+            "Ablation -- filter + compression",
+            ["selectivity", "pushdown", "pushdown+zlib", "parquet"],
+            [
+                [
+                    r.selectivity,
+                    r.pushdown_speedup,
+                    r.compressed_speedup,
+                    r.parquet_speedup,
+                ]
+                for r in exp.ablation_filter_plus_compression()
+            ],
+        )
+    elif name == "adaptive":
+        exp.render_table(
+            "Ablation -- adaptive pushdown",
+            ["storage cpu", "gold", "silver", "bronze"],
+            [
+                [s.storage_cpu, s.gold_pushed, s.silver_pushed, s.bronze_pushed]
+                for s in exp.ablation_adaptive_pushdown()
+            ],
+        )
+
+
+def _queries() -> int:
+    from repro.gridpocket import GRIDPOCKET_QUERIES
+
+    for query in GRIDPOCKET_QUERIES:
+        print(f"{query.name}: {query.description}")
+        print(f"  {query.sql('largeMeter')}")
+        print(
+            f"  paper selectivity: data {query.paper_data_selectivity}%"
+            f" / rows {query.paper_row_selectivity}%"
+        )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,37 @@
+"""Cluster hardware model for the Scoop performance experiments.
+
+This package models the disaggregated compute/storage platform used in the
+paper's evaluation (Section VI, "Platform"): compute nodes, storage nodes,
+proxies, a load balancer, and the 10 GbE inter-cluster network.  It is a
+*fluid-flow* model: transfers and CPU work are flows that share resources
+under weighted max-min fairness, simulated on the DES kernel from
+:mod:`repro.simulation`.
+
+The central pieces are:
+
+* :class:`~repro.cluster.flow.FlowNetwork` -- resources + flows with
+  progressive-filling (water-filling) rate allocation.
+* :class:`~repro.cluster.node.Node` -- cores, memory, NICs and disks, all
+  registered as flow resources.
+* :class:`~repro.cluster.topology.Testbed` -- the 63-machine OSIC layout.
+* :class:`~repro.cluster.metrics.MetricsCollector` -- collectd-style
+  per-node CPU/memory/network sampling.
+"""
+
+from repro.cluster.flow import Flow, FlowNetwork, FlowResource
+from repro.cluster.metrics import MetricsCollector, ResourceSeries
+from repro.cluster.node import Node, NodeSpec
+from repro.cluster.topology import OSIC_SPEC, Testbed, TestbedSpec
+
+__all__ = [
+    "Flow",
+    "FlowNetwork",
+    "FlowResource",
+    "MetricsCollector",
+    "Node",
+    "NodeSpec",
+    "OSIC_SPEC",
+    "ResourceSeries",
+    "Testbed",
+    "TestbedSpec",
+]

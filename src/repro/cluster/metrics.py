@@ -1,0 +1,145 @@
+"""collectd-style resource sampling for the simulated cluster.
+
+The paper's evaluation runs collectd v5.4 on every node to collect CPU,
+memory and network usage (Fig. 9 and Fig. 10).  :class:`MetricsCollector`
+plays the same role on the DES: a sampling process records per-node CPU
+utilization, memory fraction and NIC throughput, plus arbitrary extra
+flow resources (the load-balancer link), at a fixed interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.cluster.flow import FlowResource
+from repro.cluster.node import Node
+from repro.simulation import Environment, Interrupt
+
+
+@dataclass
+class ResourceSeries:
+    """One sampled time series: (time, value) pairs plus summary stats."""
+
+    name: str
+    times: List[float] = field(default_factory=list)
+    values: List[float] = field(default_factory=list)
+
+    def record(self, time: float, value: float) -> None:
+        self.times.append(time)
+        self.values.append(value)
+
+    def mean(self) -> float:
+        if not self.values:
+            return 0.0
+        return sum(self.values) / len(self.values)
+
+    def peak(self) -> float:
+        return max(self.values, default=0.0)
+
+    def mean_over(self, start: float, end: float) -> float:
+        window = [
+            value
+            for time, value in zip(self.times, self.values)
+            if start <= time <= end
+        ]
+        if not window:
+            return 0.0
+        return sum(window) / len(window)
+
+    def integral(self) -> float:
+        """Trapezoidal integral of the series (e.g. CPU-seconds burnt)."""
+        total = 0.0
+        for i in range(1, len(self.times)):
+            dt = self.times[i] - self.times[i - 1]
+            total += dt * (self.values[i] + self.values[i - 1]) / 2
+        return total
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+class MetricsCollector:
+    """Samples node groups and extra resources at a fixed interval."""
+
+    def __init__(
+        self,
+        env: Environment,
+        interval: float = 1.0,
+    ):
+        if interval <= 0:
+            raise ValueError(f"interval must be positive: {interval}")
+        self.env = env
+        self.interval = interval
+        self._node_groups: Dict[str, Sequence[Node]] = {}
+        self._resources: Dict[str, FlowResource] = {}
+        self.series: Dict[str, ResourceSeries] = {}
+        self._process = None
+
+    # -- registration ------------------------------------------------------
+
+    def watch_nodes(self, group: str, nodes: Sequence[Node]) -> None:
+        """Track mean CPU/memory/NIC across ``nodes`` as group series."""
+        self._node_groups[group] = nodes
+        for metric in ("cpu", "memory", "net_tx", "net_rx"):
+            key = f"{group}.{metric}"
+            self.series.setdefault(key, ResourceSeries(key))
+
+    def watch_resource(self, name: str, resource: FlowResource) -> None:
+        """Track one flow resource's throughput and utilization."""
+        self._resources[name] = resource
+        self.series.setdefault(
+            f"{name}.throughput", ResourceSeries(f"{name}.throughput")
+        )
+        self.series.setdefault(
+            f"{name}.utilization", ResourceSeries(f"{name}.utilization")
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        if self._process is not None and self._process.is_alive:
+            raise RuntimeError("collector already running")
+        self._process = self.env.process(self._sample_loop())
+
+    def stop(self) -> None:
+        if self._process is not None and self._process.is_alive:
+            self._process.interrupt("stop")
+        self._process = None
+
+    def _sample_loop(self):
+        try:
+            while True:
+                self.sample_once()
+                yield self.env.timeout(self.interval)
+        except Interrupt:
+            return
+
+    def sample_once(self) -> None:
+        now = self.env.now
+        for group, nodes in self._node_groups.items():
+            if not nodes:
+                continue
+            cpu = sum(node.cpu_utilization() for node in nodes) / len(nodes)
+            memory = sum(node.memory_fraction for node in nodes) / len(nodes)
+            tx = sum(node.nic_out.throughput() for node in nodes) / len(nodes)
+            rx = sum(node.nic_in.throughput() for node in nodes) / len(nodes)
+            self.series[f"{group}.cpu"].record(now, cpu)
+            self.series[f"{group}.memory"].record(now, memory)
+            self.series[f"{group}.net_tx"].record(now, tx)
+            self.series[f"{group}.net_rx"].record(now, rx)
+        for name, resource in self._resources.items():
+            self.series[f"{name}.throughput"].record(now, resource.throughput())
+            self.series[f"{name}.utilization"].record(now, resource.utilization())
+
+    # -- reporting -------------------------------------------------------------
+
+    def get(self, key: str) -> ResourceSeries:
+        return self.series[key]
+
+    def summary(self) -> Dict[str, Tuple[float, float]]:
+        """``{series: (mean, peak)}`` for quick inspection."""
+        return {
+            key: (series.mean(), series.peak())
+            for key, series in self.series.items()
+        }

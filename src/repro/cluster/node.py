@@ -1,0 +1,92 @@
+"""Node model: cores, memory, NICs and disks as flow resources."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cluster.flow import FlowNetwork, FlowResource
+from repro.simulation import Environment
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Hardware description of one machine.
+
+    Defaults correspond to the paper's OSIC servers: HP DL380 Gen9,
+    2x 12-core Intel E5-2680 v3, 256 GB RAM, 12x 600 GB 15K SAS disks,
+    dual 10 GbE bonded NICs.
+    """
+
+    cores: int = 24
+    memory_bytes: float = 256 * 2**30
+    nic_bandwidth: float = 2 * 10e9 / 8  # 2x10 Gbps bond, in bytes/s
+    disk_count: int = 12
+    disk_bandwidth: float = 180e6  # 15K SAS sequential read, bytes/s
+    label: str = "node"
+
+
+class Node:
+    """A machine whose CPU, NIC and disks are registered flow resources.
+
+    CPU capacity is expressed in core-seconds per second (== ``cores``);
+    a flow whose per-byte CPU cost is ``c`` core-seconds declares weight
+    ``c`` against :attr:`cpu`.
+
+    Memory is tracked as an explicit level (bytes) with
+    :meth:`allocate_memory` / :meth:`free_memory`; the metrics collector
+    samples :attr:`memory_used`.
+    """
+
+    def __init__(self, network: FlowNetwork, name: str, spec: NodeSpec):
+        self.network = network
+        self.name = name
+        self.spec = spec
+        self.cpu: FlowResource = network.add_resource(f"{name}.cpu", spec.cores)
+        self.nic_in: FlowResource = network.add_resource(
+            f"{name}.nic_in", spec.nic_bandwidth
+        )
+        self.nic_out: FlowResource = network.add_resource(
+            f"{name}.nic_out", spec.nic_bandwidth
+        )
+        self.disks: List[FlowResource] = [
+            network.add_resource(f"{name}.disk{i}", spec.disk_bandwidth)
+            for i in range(spec.disk_count)
+        ]
+        self.memory_used = 0.0
+        self._baseline_memory = 0.0
+
+    @property
+    def env(self) -> Environment:
+        return self.network.env
+
+    def disk(self, index: int) -> FlowResource:
+        return self.disks[index % len(self.disks)]
+
+    def allocate_memory(self, amount: float) -> None:
+        if amount < 0:
+            raise ValueError(f"negative allocation: {amount}")
+        if self.memory_used + amount > self.spec.memory_bytes:
+            raise MemoryError(
+                f"{self.name}: allocation of {amount:.3g} B exceeds "
+                f"{self.spec.memory_bytes:.3g} B"
+            )
+        self.memory_used += amount
+
+    def free_memory(self, amount: float) -> None:
+        self.memory_used = max(self._baseline_memory, self.memory_used - amount)
+
+    def set_baseline_memory(self, amount: float) -> None:
+        """Resident memory that never drops (OS, JVM heap floor...)."""
+        self._baseline_memory = amount
+        self.memory_used = max(self.memory_used, amount)
+
+    @property
+    def memory_fraction(self) -> float:
+        return self.memory_used / self.spec.memory_bytes
+
+    def cpu_utilization(self) -> float:
+        return self.cpu.utilization()
+
+    def __repr__(self) -> str:
+        return f"<Node {self.name} cores={self.spec.cores}>"

@@ -1,0 +1,94 @@
+"""The 63-machine OSIC testbed topology from the paper's evaluation.
+
+Section VI ("Platform") describes: 1 identity node, 1 HAProxy load
+balancer, 6 Swift proxy/metadata servers, 29 object servers (10 data disks
+each in the object ring), 25 Spark workers plus a master and a client.
+The inter-cluster path goes through the load balancer's 10 Gbps link,
+which Fig. 9(c) shows saturating during plain ingest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.cluster.flow import FlowNetwork, FlowResource
+from repro.cluster.node import Node, NodeSpec
+from repro.simulation import Environment
+
+
+@dataclass(frozen=True)
+class TestbedSpec:
+    """Counts and link speeds for a disaggregated testbed."""
+
+    __test__ = False  # not a pytest test class despite the name
+
+    proxy_count: int = 6
+    storage_count: int = 29
+    worker_count: int = 25
+    lb_bandwidth: float = 10e9 / 8  # HAProxy machine: one 10 Gbps link
+    storage_disks_in_ring: int = 10
+    node_spec: NodeSpec = field(default_factory=NodeSpec)
+
+    def scaled(self, factor: float) -> "TestbedSpec":
+        """A proportionally smaller testbed (minimum one node per role)."""
+        return TestbedSpec(
+            proxy_count=max(1, round(self.proxy_count * factor)),
+            storage_count=max(1, round(self.storage_count * factor)),
+            worker_count=max(1, round(self.worker_count * factor)),
+            lb_bandwidth=self.lb_bandwidth * factor,
+            storage_disks_in_ring=self.storage_disks_in_ring,
+            node_spec=self.node_spec,
+        )
+
+
+OSIC_SPEC = TestbedSpec()
+
+
+class Testbed:
+    """Instantiated cluster: proxies, object servers, workers, LB link."""
+
+    __test__ = False  # not a pytest test class despite the name
+
+    def __init__(self, env: Environment, spec: TestbedSpec = OSIC_SPEC):
+        self.env = env
+        self.spec = spec
+        self.network = FlowNetwork(env)
+        self.proxies: List[Node] = [
+            Node(self.network, f"proxy{i}", spec.node_spec)
+            for i in range(spec.proxy_count)
+        ]
+        self.storage_nodes: List[Node] = [
+            Node(self.network, f"storage{i}", spec.node_spec)
+            for i in range(spec.storage_count)
+        ]
+        self.workers: List[Node] = [
+            Node(self.network, f"worker{i}", spec.node_spec)
+            for i in range(spec.worker_count)
+        ]
+        # The inter-cluster bottleneck: every byte moving from the storage
+        # cluster to the compute cluster crosses this link.
+        self.lb_link: FlowResource = self.network.add_resource(
+            "loadbalancer.link", spec.lb_bandwidth
+        )
+
+    # -- placement helpers -------------------------------------------------
+
+    def proxy_for(self, index: int) -> Node:
+        return self.proxies[index % len(self.proxies)]
+
+    def storage_for(self, index: int) -> Node:
+        return self.storage_nodes[index % len(self.storage_nodes)]
+
+    def worker_for(self, index: int) -> Node:
+        return self.workers[index % len(self.workers)]
+
+    def all_nodes(self) -> List[Node]:
+        return self.proxies + self.storage_nodes + self.workers
+
+    def node_groups(self) -> Dict[str, List[Node]]:
+        return {
+            "proxy": self.proxies,
+            "storage": self.storage_nodes,
+            "worker": self.workers,
+        }

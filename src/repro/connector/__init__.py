@@ -1,0 +1,22 @@
+"""Stocator-like object-store connector for the analytics side.
+
+Stocator is "a high-speed connector to object stores" that the paper
+modified "so that it could inject pushdown tasks in object requests
+issued to Swift" (Section V-A).  This package reproduces that role:
+
+* partition discovery: splitting a container's objects into byte-range
+  splits of the configured (HDFS-style) chunk size;
+* reading a split either plainly (client-side record alignment, full
+  range transferred) or with a :class:`~repro.core.pushdown.PushdownTask`
+  attached (the storlet filters at the store; only matching data
+  travels);
+* transfer accounting, the ground truth for the ingest-savings numbers.
+"""
+
+from repro.connector.stocator import (
+    ObjectSplit,
+    StocatorConnector,
+    TransferMetrics,
+)
+
+__all__ = ["ObjectSplit", "StocatorConnector", "TransferMetrics"]

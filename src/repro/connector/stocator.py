@@ -1,0 +1,207 @@
+"""Partition discovery, split reads and pushdown injection."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.core.pushdown import PushdownTask
+from repro.storlets.engine import StorletRequestHeaders
+from repro.swift.client import SwiftClient
+from repro.swift.exceptions import RangeNotSatisfiable, SwiftError
+
+
+@dataclass(frozen=True)
+class ObjectSplit:
+    """One byte range of one object, handled by one analytics task."""
+
+    container: str
+    name: str
+    start: int
+    length: int
+    object_size: int
+    index: int
+
+    @property
+    def end(self) -> int:
+        """Inclusive last byte of the split."""
+        return self.start + self.length - 1
+
+    @property
+    def is_first(self) -> bool:
+        return self.start == 0
+
+    @property
+    def is_last(self) -> bool:
+        return self.start + self.length >= self.object_size
+
+
+@dataclass
+class TransferMetrics:
+    """Bytes that actually crossed the store->compute boundary."""
+
+    requests: int = 0
+    bytes_transferred: int = 0
+    bytes_requested: int = 0
+    pushdown_requests: int = 0
+
+    def record(self, transferred: int, requested: int, pushdown: bool) -> None:
+        self.requests += 1
+        self.bytes_transferred += transferred
+        self.bytes_requested += requested
+        if pushdown:
+            self.pushdown_requests += 1
+
+    def savings_ratio(self) -> float:
+        """Fraction of requested bytes that did NOT need to travel."""
+        if self.bytes_requested == 0:
+            return 0.0
+        return 1.0 - self.bytes_transferred / self.bytes_requested
+
+    def reset(self) -> None:
+        self.requests = 0
+        self.bytes_transferred = 0
+        self.bytes_requested = 0
+        self.pushdown_requests = 0
+
+
+class StocatorConnector:
+    """The Hadoop-driver role: discovery + ranged reads + task injection.
+
+    ``chunk_size`` plays the part of the HDFS chunk size that drives
+    partition discovery -- Section VII notes this is "not adapted to
+    object stores", which the chunk-size ablation benchmark explores.
+    """
+
+    def __init__(
+        self,
+        client: SwiftClient,
+        chunk_size: int = 1 * 2**20,
+        range_lookahead: int = 8 * 1024,
+    ):
+        if chunk_size <= 0:
+            raise ValueError(f"chunk_size must be positive: {chunk_size}")
+        if range_lookahead <= 0:
+            raise ValueError(
+                f"range_lookahead must be positive: {range_lookahead}"
+            )
+        self.client = client
+        self.chunk_size = chunk_size
+        # Bytes fetched past a split to finish its last record when the
+        # connector (not the storlet) performs record alignment; must be
+        # at least the maximum record length.
+        self.range_lookahead = range_lookahead
+        self.metrics = TransferMetrics()
+
+    # -- partition discovery ---------------------------------------------
+
+    def discover_partitions(
+        self, container: str, prefix: str = ""
+    ) -> List[ObjectSplit]:
+        """Split every matching object into chunk-size byte ranges.
+
+        Mirrors Hadoop RDD partition discovery: total size divided by the
+        chunk size, one task per split.  Happens before any query is
+        known (paper Section V-B).
+        """
+        splits: List[ObjectSplit] = []
+        index = 0
+        for name in self.client.list_objects(container, prefix=prefix):
+            headers = self.client.head_object(container, name)
+            size = int(headers.get("content-length", "0"))
+            if size == 0:
+                continue
+            start = 0
+            while start < size:
+                length = min(self.chunk_size, size - start)
+                splits.append(
+                    ObjectSplit(container, name, start, length, size, index)
+                )
+                index += 1
+                start += length
+        return splits
+
+    # -- split reads --------------------------------------------------------
+
+    def read_split_raw(
+        self, split: ObjectSplit, task: Optional[PushdownTask] = None
+    ) -> bytes:
+        """Fetch a split's data.
+
+        With a pushdown task: one storlet GET returns the already
+        filtered, record-aligned data for the split.  Without: the raw
+        byte range (plus lookahead) is transferred and the caller aligns
+        records client-side via :meth:`read_split_records`.
+        """
+        if task is not None and not task.is_noop():
+            headers: Dict[str, str] = {}
+            task.apply_to_headers(headers)
+            headers[StorletRequestHeaders.RANGE] = (
+                f"bytes={split.start}-{split.end}"
+            )
+            response_headers, body = self.client.get_object(
+                split.container, split.name, headers=headers
+            )
+            if StorletRequestHeaders.INVOKED not in response_headers:
+                # Nothing intercepted the request: the store has no
+                # storlet engine (or the filter is not deployed).  Parsing
+                # raw data with the pruned schema would silently corrupt
+                # results, so fail loudly.
+                raise SwiftError(
+                    f"pushdown task {task.storlet!r} was not executed by "
+                    f"the object store for /{split.container}/{split.name}; "
+                    "is the storlet middleware installed and the filter "
+                    "deployed?"
+                )
+            self.metrics.record(len(body), split.length, pushdown=True)
+            return body
+
+        end = min(split.end + self.range_lookahead, split.object_size - 1)
+        try:
+            _response_headers, body = self.client.get_object(
+                split.container,
+                split.name,
+                byte_range=(split.start, end),
+            )
+        except RangeNotSatisfiable:
+            body = b""
+        self.metrics.record(len(body), split.length, pushdown=False)
+        return body
+
+    def read_split_records(self, split: ObjectSplit) -> Iterator[bytes]:
+        """Plain (no pushdown) read yielding the records the split owns.
+
+        Implements the same Hadoop split ownership rule as the storlet:
+        skip the partial first record unless the split starts the object;
+        own every record starting before the split end; finish the last
+        owned record from the lookahead bytes.
+        """
+        from repro.storlets.csv_storlet import _owned_lines
+        from repro.storlets.api import StorletInputStream
+
+        body = self.read_split_raw(split, task=None)
+        stream = StorletInputStream([body] if body else [])
+        return _owned_lines(stream, split.start, split.length)
+
+    # -- uploads -----------------------------------------------------------------
+
+    def upload(
+        self,
+        container: str,
+        name: str,
+        data: bytes,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> str:
+        """PUT an object through the store (ETL policies may transform it)."""
+        self.client.put_container(container)
+        return self.client.put_object(container, name, data, headers=headers)
+
+    def dataset_size(self, container: str, prefix: str = "") -> int:
+        total = 0
+        for name in self.client.list_objects(container, prefix=prefix):
+            total += int(
+                self.client.head_object(container, name).get(
+                    "content-length", "0"
+                )
+            )
+        return total

@@ -1,0 +1,270 @@
+"""ScoopContext: one-call wiring of the whole Scoop stack.
+
+Assembles the Swift-like cluster with the storlet middleware on both
+tiers, deploys the CSV pushdown filter and the ETL storlets, creates the
+Stocator connector and a Spark session, and exposes the high-level
+operations a user of Scoop performs: upload data (optionally through an
+ETL policy), register it as a SQL table with or without pushdown, and
+run queries while observing how many bytes crossed the inter-cluster
+boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.connector.stocator import StocatorConnector
+from repro.core.delegator import AnalyticsDelegator
+from repro.core.policies import AdaptivePushdownController
+from repro.spark.csv_source import CsvRelation
+from repro.spark.dataframe import DataFrame
+from repro.spark.scheduler import SparkContext
+from repro.spark.session import SparkSession
+from repro.sql.types import Schema
+from repro.storlets.agg_storlet import AggregatingStorlet
+from repro.storlets.compress_storlet import CompressStorlet, DecompressStorlet
+from repro.storlets.csv_storlet import CsvStorlet
+from repro.storlets.engine import StorletEngine, StorletPolicy
+from repro.storlets.etl_storlet import CleansingStorlet, ColumnSplitStorlet
+from repro.swift.client import SwiftClient
+from repro.swift.proxy import SwiftCluster
+
+
+@dataclass
+class QueryRunReport:
+    """What one query cost at the ingestion boundary."""
+
+    rows: int
+    bytes_transferred: int
+    bytes_requested: int
+    requests: int
+    pushdown_requests: int
+
+    @property
+    def data_selectivity(self) -> float:
+        """Fraction of the requested bytes that was discarded at the store."""
+        if self.bytes_requested == 0:
+            return 0.0
+        return max(0.0, 1.0 - self.bytes_transferred / self.bytes_requested)
+
+
+class ScoopContext:
+    """The assembled system: object store + active layer + analytics."""
+
+    def __init__(
+        self,
+        account: str = "AUTH_scoop",
+        storage_node_count: int = 4,
+        disks_per_node: int = 2,
+        proxy_count: int = 2,
+        replica_count: int = 3,
+        num_workers: int = 4,
+        chunk_size: int = 1 * 2**20,
+        controller: Optional[AdaptivePushdownController] = None,
+    ):
+        self.engine = StorletEngine()
+        self.cluster = SwiftCluster(
+            storage_node_count=storage_node_count,
+            disks_per_node=disks_per_node,
+            proxy_count=proxy_count,
+            replica_count=replica_count,
+            proxy_middleware=[self.engine.proxy_middleware()],
+            object_middleware=[self.engine.object_middleware()],
+        )
+        self.client = SwiftClient(self.cluster, account)
+        self.connector = StocatorConnector(self.client, chunk_size=chunk_size)
+        self.spark_context = SparkContext("scoop", num_workers=num_workers)
+        self.session = SparkSession(self.spark_context)
+        self.controller = controller
+        self.delegator = AnalyticsDelegator(controller)
+
+        # Deploy the stock pushdown/ETL filters (stored as regular objects).
+        self.engine.deploy(CsvStorlet(), self.client)
+        self.engine.deploy(AggregatingStorlet(), self.client)
+        self.engine.deploy(CleansingStorlet(), self.client)
+        self.engine.deploy(ColumnSplitStorlet(), self.client)
+        self.engine.deploy(CompressStorlet(), self.client)
+        self.engine.deploy(DecompressStorlet(), self.client)
+
+    # -- data management ----------------------------------------------------
+
+    def upload_csv(
+        self,
+        container: str,
+        name: str,
+        data: Union[bytes, str],
+        etl_schema: Optional[Schema] = None,
+    ) -> str:
+        """Upload a CSV object; with ``etl_schema``, cleanse it on the way
+        in via the PUT-path ETL storlet policy."""
+        if isinstance(data, str):
+            data = data.encode("utf-8")
+        self.client.put_container(container)
+        if etl_schema is not None:
+            self.set_etl_policy(container, etl_schema)
+        return self.client.put_object(container, name, data)
+
+    def set_etl_policy(self, container: str, schema: Schema) -> None:
+        """Enforce cleansing on every PUT into ``container``."""
+        self.client.put_container(container)
+        self.engine.clear_policies(self.client.account, container)
+        self.engine.set_policy(
+            self.client.account,
+            container,
+            StorletPolicy(
+                storlet=CleansingStorlet.name,
+                method="PUT",
+                parameters={"schema": schema.to_header()},
+            ),
+        )
+
+    # -- table registration -----------------------------------------------------
+
+    def register_csv_table(
+        self,
+        table: str,
+        container: str,
+        schema: Optional[Schema] = None,
+        prefix: str = "",
+        has_header: bool = False,
+        pushdown: bool = True,
+        run_on: str = "object",
+        compress_transfer: bool = False,
+        tenant: str = "default",
+        adaptive: bool = False,
+    ) -> CsvRelation:
+        relation = CsvRelation(
+            self.spark_context,
+            self.connector,
+            container,
+            prefix=prefix,
+            schema=schema,
+            has_header=has_header,
+            pushdown=pushdown,
+            run_on=run_on,
+            compress_transfer=compress_transfer,
+            controller=self.controller if adaptive else None,
+            tenant=tenant,
+        )
+        self.session.register_table(table, relation)
+        return relation
+
+    # -- querying -----------------------------------------------------------------
+
+    def sql(self, text: str) -> DataFrame:
+        return self.session.sql(text)
+
+    def run_query(self, text: str) -> Tuple[DataFrame, QueryRunReport]:
+        """Execute a query and report its ingestion cost."""
+        metrics = self.connector.metrics
+        before = (
+            metrics.requests,
+            metrics.bytes_transferred,
+            metrics.bytes_requested,
+            metrics.pushdown_requests,
+        )
+        frame = self.session.sql(text)
+        rows = frame.collect()
+        report = QueryRunReport(
+            rows=len(rows),
+            bytes_transferred=metrics.bytes_transferred - before[1],
+            bytes_requested=metrics.bytes_requested - before[2],
+            requests=metrics.requests - before[0],
+            pushdown_requests=metrics.pushdown_requests - before[3],
+        )
+        return frame, report
+
+    def run_aggregation_query(
+        self,
+        text: str,
+        container: str,
+        schema: Schema,
+        prefix: str = "",
+        has_header: bool = False,
+    ):
+        """Execute a fully-mergeable GROUP BY query via aggregation
+        pushdown: the store returns partial group states instead of rows.
+
+        Returns ``((schema, rows), QueryRunReport)``.  Raises
+        SqlAnalysisError when the query is not fully mergeable -- fall
+        back to :meth:`run_query` (filter pushdown) in that case.
+        """
+        from repro.core.agg_pushdown import run_aggregation_query
+
+        metrics = self.connector.metrics
+        before = (
+            metrics.requests,
+            metrics.bytes_transferred,
+            metrics.bytes_requested,
+            metrics.pushdown_requests,
+        )
+        result_schema, rows = run_aggregation_query(
+            self.connector, text, schema, container, prefix, has_header
+        )
+        report = QueryRunReport(
+            rows=len(rows),
+            bytes_transferred=metrics.bytes_transferred - before[1],
+            bytes_requested=metrics.bytes_requested - before[2],
+            requests=metrics.requests - before[0],
+            pushdown_requests=metrics.pushdown_requests - before[3],
+        )
+        return (result_schema, rows), report
+
+    def make_adaptive_controller(
+        self,
+        window_invocations: int = 50,
+        **controller_kwargs,
+    ) -> AdaptivePushdownController:
+        """Build a Crystal-style controller probed from this context's
+        own storlet sandboxes and install it.
+
+        The probe estimates current storage CPU pressure from the CPU
+        seconds the last ``window_invocations`` storlet invocations on
+        storage nodes consumed, relative to what those nodes could have
+        delivered over the same wall-clock span.
+        """
+
+        def probe() -> float:
+            records = []
+            for node, sandbox in self.engine.all_sandboxes().items():
+                if node.startswith("storage"):
+                    records.extend(sandbox.records)
+            if not records:
+                return 0.0
+            recent = records[-window_invocations:]
+            cpu = sum(record.cpu_seconds for record in recent)
+            wall = sum(record.wall_seconds for record in recent)
+            if wall <= 0:
+                return 0.0
+            node_count = max(1, len(self.cluster.object_servers))
+            return min(1.0, cpu / (wall * node_count))
+
+        controller = AdaptivePushdownController(
+            storage_cpu_probe=probe, **controller_kwargs
+        )
+        self.controller = controller
+        self.delegator = AnalyticsDelegator(controller)
+        return controller
+
+    # -- observability ---------------------------------------------------------------
+
+    def storage_cpu_seconds(self) -> float:
+        """Total CPU charged to storage-node sandboxes so far."""
+        return sum(
+            sandbox.stats.cpu_seconds
+            for node, sandbox in self.engine.all_sandboxes().items()
+            if node.startswith("storage")
+        )
+
+    def sandbox_summary(self) -> Dict[str, Dict[str, float]]:
+        return {
+            node: {
+                "invocations": sandbox.stats.invocations,
+                "bytes_in": sandbox.stats.bytes_in,
+                "bytes_out": sandbox.stats.bytes_out,
+                "cpu_seconds": sandbox.stats.cpu_seconds,
+                "discard_ratio": sandbox.stats.discard_ratio(),
+            }
+            for node, sandbox in self.engine.all_sandboxes().items()
+        }

@@ -1,0 +1,61 @@
+"""Experiment harness: one reproduction per table/figure of the paper.
+
+Every public function regenerates the rows/series of one evaluation
+artifact and returns structured results; ``render_*`` helpers print the
+same tables the benchmark suite emits.  The per-experiment index lives
+in DESIGN.md; paper-vs-measured numbers are recorded in EXPERIMENTS.md.
+"""
+
+from repro.experiments.figures import (
+    Fig1Point,
+    Fig5Point,
+    Fig8Point,
+    fig1_ingest_scaling,
+    fig5_speedup_grid,
+    fig6_high_selectivity,
+    fig8_parquet_comparison,
+    fig9_resource_usage,
+    fig10_storage_cpu,
+)
+from repro.experiments.gridpocket_runs import (
+    Fig7Row,
+    Table1Row,
+    fig7_gridpocket_speedups,
+    table1_selectivities,
+)
+from repro.experiments.ablations import (
+    ablation_adaptive_pushdown,
+    ablation_chunk_size,
+    ablation_filter_plus_compression,
+    ablation_staging,
+)
+from repro.experiments.report import render_table
+from repro.experiments.workday import (
+    WorkdayResult,
+    simulate_workday,
+    workday_comparison,
+)
+
+__all__ = [
+    "Fig1Point",
+    "Fig5Point",
+    "Fig7Row",
+    "Fig8Point",
+    "Table1Row",
+    "ablation_adaptive_pushdown",
+    "ablation_chunk_size",
+    "ablation_filter_plus_compression",
+    "ablation_staging",
+    "fig1_ingest_scaling",
+    "fig5_speedup_grid",
+    "fig6_high_selectivity",
+    "fig7_gridpocket_speedups",
+    "fig8_parquet_comparison",
+    "fig9_resource_usage",
+    "fig10_storage_cpu",
+    "render_table",
+    "simulate_workday",
+    "workday_comparison",
+    "WorkdayResult",
+    "table1_selectivities",
+]

@@ -1,0 +1,43 @@
+"""Discrete-event simulation kernel.
+
+A small, dependency-free discrete-event simulation (DES) engine in the
+style of SimPy.  It provides:
+
+* :class:`~repro.simulation.core.Environment` -- the event loop and clock.
+* :class:`~repro.simulation.events.Event`, :class:`~repro.simulation.events.Timeout`
+  and process interrupts.
+* Processes written as Python generators that ``yield`` events.
+* :class:`~repro.simulation.resources.Resource` (capacity-limited server),
+  :class:`~repro.simulation.resources.Container` (continuous stock) and
+  :class:`~repro.simulation.resources.Store` (object queue).
+
+Every higher-level cluster model in this repository (nodes, links,
+CPU stations) is built on this kernel, so that the Scoop performance
+experiments replay the paper's process structure with explicit,
+deterministic virtual time.
+"""
+
+from repro.simulation.core import Environment, SimulationError
+from repro.simulation.events import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    Timeout,
+)
+from repro.simulation.resources import Container, Resource, Store
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Container",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "Resource",
+    "SimulationError",
+    "Store",
+    "Timeout",
+]

@@ -1,0 +1,196 @@
+"""Shared resources for the DES kernel: Resource, Container, Store."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, List, Optional
+
+from repro.simulation.core import Environment, SimulationError
+from repro.simulation.events import Event
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource` slot.
+
+    Usable as a context manager inside a process::
+
+        with resource.request() as req:
+            yield req
+            ... hold the slot ...
+    """
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.env)
+        self.resource = resource
+        resource._do_request(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc_val, exc_tb) -> None:
+        self.resource.release(self)
+
+    def cancel(self) -> None:
+        """Withdraw a not-yet-granted request from the wait queue."""
+        self.resource._cancel(self)
+
+
+class Resource:
+    """A capacity-limited resource with a FIFO wait queue.
+
+    ``capacity`` slots may be held concurrently; further requests queue.
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity <= 0:
+            raise SimulationError(f"capacity must be positive: {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.users: List[Request] = []
+        self.queue: Deque[Request] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self.users)
+
+    def request(self) -> Request:
+        return Request(self)
+
+    def _do_request(self, request: Request) -> None:
+        if len(self.users) < self.capacity:
+            self.users.append(request)
+            request.succeed()
+        else:
+            self.queue.append(request)
+
+    def release(self, request: Request) -> None:
+        """Free a slot; grants the head of the wait queue, if any."""
+        if request in self.users:
+            self.users.remove(request)
+            self._grant_next()
+        else:
+            self._cancel(request)
+
+    def _cancel(self, request: Request) -> None:
+        try:
+            self.queue.remove(request)
+        except ValueError:
+            pass
+
+    def _grant_next(self) -> None:
+        while self.queue and len(self.users) < self.capacity:
+            nxt = self.queue.popleft()
+            self.users.append(nxt)
+            nxt.succeed()
+
+
+class ContainerEvent(Event):
+    def __init__(self, container: "Container", amount: float):
+        if amount <= 0:
+            raise SimulationError(f"amount must be positive: {amount}")
+        super().__init__(container.env)
+        self.amount = amount
+
+
+class Container:
+    """A continuous stock (e.g. buffer bytes) with blocking put/get."""
+
+    def __init__(
+        self,
+        env: Environment,
+        capacity: float = float("inf"),
+        init: float = 0.0,
+    ):
+        if capacity <= 0:
+            raise SimulationError(f"capacity must be positive: {capacity}")
+        if not 0 <= init <= capacity:
+            raise SimulationError(f"init {init} outside [0, {capacity}]")
+        self.env = env
+        self.capacity = capacity
+        self._level = float(init)
+        self._puts: Deque[ContainerEvent] = deque()
+        self._gets: Deque[ContainerEvent] = deque()
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    def put(self, amount: float) -> ContainerEvent:
+        event = ContainerEvent(self, amount)
+        self._puts.append(event)
+        self._settle()
+        return event
+
+    def get(self, amount: float) -> ContainerEvent:
+        event = ContainerEvent(self, amount)
+        self._gets.append(event)
+        self._settle()
+        return event
+
+    def _settle(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            if self._puts and self._level + self._puts[0].amount <= self.capacity:
+                put = self._puts.popleft()
+                self._level += put.amount
+                put.succeed()
+                progress = True
+            if self._gets and self._level >= self._gets[0].amount:
+                get = self._gets.popleft()
+                self._level -= get.amount
+                get.succeed()
+                progress = True
+
+
+class StoreGet(Event):
+    def __init__(self, store: "Store"):
+        super().__init__(store.env)
+        self.store = store
+
+
+class StorePut(Event):
+    def __init__(self, store: "Store", item: Any):
+        super().__init__(store.env)
+        self.store = store
+        self.item = item
+
+
+class Store:
+    """A FIFO object queue with blocking get and capacity-bounded put."""
+
+    def __init__(self, env: Environment, capacity: float = float("inf")):
+        if capacity <= 0:
+            raise SimulationError(f"capacity must be positive: {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.items: Deque[Any] = deque()
+        self._getters: Deque[StoreGet] = deque()
+        self._putters: Deque[StorePut] = deque()
+
+    def put(self, item: Any) -> StorePut:
+        event = StorePut(self, item)
+        self._putters.append(event)
+        self._settle()
+        return event
+
+    def get(self) -> StoreGet:
+        event = StoreGet(self)
+        self._getters.append(event)
+        self._settle()
+        return event
+
+    def _settle(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            if self._putters and len(self.items) < self.capacity:
+                put = self._putters.popleft()
+                self.items.append(put.item)
+                put.succeed()
+                progress = True
+            if self._getters and self.items:
+                get = self._getters.popleft()
+                get.succeed(self.items.popleft())
+                progress = True

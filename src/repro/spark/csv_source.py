@@ -1,0 +1,269 @@
+"""The Spark-CSV relation, extended with object-store pushdown.
+
+This is the paper's modified Spark-CSV library (Section V-A): a
+``PrunedFilteredScan`` whose scan RDD has one partition per object-store
+byte-range split.  With pushdown enabled, each task's GET request is
+tagged with a :class:`~repro.core.pushdown.PushdownTask` so the CSV
+storlet filters at the storage node and only matching bytes travel;
+with pushdown disabled the full range is ingested and the projection
+happens in the compute cluster (classic ingest-then-compute).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+from repro.connector.stocator import ObjectSplit, StocatorConnector
+from repro.core.pushdown import PushdownTask
+from repro.sql.filters import Filter
+from repro.sql.types import DataType, Field, Row, Schema
+from repro.spark.datasources import PrunedFilteredScan
+from repro.spark.rdd import RDD
+from repro.storlets.api import StorletInputStream
+from repro.storlets.csv_storlet import _owned_lines, _parse_record
+
+
+class CsvScanRDD(RDD[Row]):
+    """One partition per object split; rows typed per the output schema."""
+
+    def __init__(
+        self,
+        context,
+        connector: StocatorConnector,
+        splits: List[ObjectSplit],
+        output_schema: Schema,
+        full_schema: Schema,
+        task: Optional[PushdownTask],
+        has_header: bool,
+        delimiter: str,
+        drop_malformed: bool = True,
+    ):
+        super().__init__(context)
+        self.name = "CsvScan"
+        self.connector = connector
+        self.splits = splits
+        self.output_schema = output_schema
+        self.full_schema = full_schema
+        self.task = task
+        self.has_header = has_header
+        self.delimiter = delimiter
+        self.drop_malformed = drop_malformed
+        if task is not None and not task.is_noop():
+            self._projection = None  # storlet already projected
+        elif len(output_schema) != len(full_schema):
+            self._projection = [
+                full_schema.index_of(name) for name in output_schema.names
+            ]
+        else:
+            self._projection = None
+
+    def num_partitions(self) -> int:
+        return len(self.splits)
+
+    def compute(self, split_index: int) -> Iterator[Row]:
+        split = self.splits[split_index]
+        pushdown = self.task is not None and not self.task.is_noop()
+        if pushdown:
+            body = self.connector.read_split_raw(split, self.task)
+            if self.task.compress and body:
+                from repro.storlets.compress_storlet import decompress_bytes
+
+                body = decompress_bytes(body)
+            lines = _owned_lines(
+                StorletInputStream([body] if body else []), 0, None
+            )
+            parse_schema = self.output_schema
+            skip_header = False
+        else:
+            body = self.connector.read_split_raw(split, None)
+            lines = _owned_lines(
+                StorletInputStream([body] if body else []),
+                split.start,
+                split.length,
+            )
+            parse_schema = self.full_schema
+            skip_header = self.has_header and split.is_first
+
+        for raw_line in lines:
+            if skip_header:
+                skip_header = False
+                continue
+            fields = _parse_record(raw_line, self.delimiter)
+            if fields is None or len(fields) != len(parse_schema):
+                if self.drop_malformed:
+                    continue
+                raise ValueError(f"malformed CSV record: {raw_line[:120]!r}")
+            try:
+                row = parse_schema.parse_row(fields)
+            except (ValueError, TypeError):
+                if self.drop_malformed:
+                    continue
+                raise
+            if self._projection is not None:
+                row = tuple(row[index] for index in self._projection)
+            yield row
+
+
+class CsvRelation(PrunedFilteredScan):
+    """CSV data in an object-store container, optionally pushdown-enabled."""
+
+    def __init__(
+        self,
+        context,
+        connector: StocatorConnector,
+        container: str,
+        prefix: str = "",
+        schema: Optional[Schema] = None,
+        has_header: bool = False,
+        delimiter: str = ",",
+        pushdown: bool = True,
+        storlet_name: str = "csvstorlet",
+        run_on: str = "object",
+        compress_transfer: bool = False,
+        controller=None,
+        tenant: str = "default",
+    ):
+        self.context = context
+        self.connector = connector
+        self.container = container
+        self.prefix = prefix
+        self.has_header = has_header
+        self.delimiter = delimiter
+        self.pushdown = pushdown
+        self.storlet_name = storlet_name
+        self.run_on = run_on
+        self.compress_transfer = compress_transfer
+        # Optional Crystal-style adaptive controller (Section VII): when
+        # set, every scan consults it and may fall back to plain ingest
+        # under storage pressure or for ineffective filters.
+        self.controller = controller
+        self.tenant = tenant
+        if schema is None:
+            schema = infer_csv_schema(
+                connector, container, prefix, has_header, delimiter
+            )
+        self._schema = schema
+        # Partition discovery happens at relation creation, before any
+        # query is specified (paper Section V-B).
+        self._splits = connector.discover_partitions(container, prefix)
+
+    def schema(self) -> Schema:
+        return self._schema
+
+    def size_in_bytes(self) -> int:
+        return sum(split.length for split in self._splits)
+
+    @property
+    def splits(self) -> List[ObjectSplit]:
+        return list(self._splits)
+
+    def build_scan_filtered(
+        self, required_columns: Sequence[str], filters: Sequence[Filter]
+    ) -> RDD:
+        columns = list(required_columns) or self._schema.names
+        output_schema = self._schema.select(columns)
+        task: Optional[PushdownTask] = None
+        if self.pushdown:
+            task = PushdownTask(
+                schema=self._schema,
+                columns=columns,
+                filters=list(filters),
+                has_header=self.has_header,
+                delimiter=self.delimiter,
+                storlet=self.storlet_name,
+                run_on=self.run_on,
+                compress=self.compress_transfer,
+            )
+            if (
+                self.controller is not None
+                and not task.is_noop()
+                and not self.controller.decide(self.tenant, task).push_down
+            ):
+                task = None  # dynamic fallback to plain ingest
+        return CsvScanRDD(
+            self.context,
+            self.connector,
+            self._splits,
+            output_schema,
+            self._schema,
+            task,
+            self.has_header,
+            self.delimiter,
+        )
+
+    def build_scan_pruned(self, required_columns: Sequence[str]) -> RDD:
+        return self.build_scan_filtered(required_columns, [])
+
+    def build_scan(self) -> RDD:
+        return self.build_scan_filtered(self._schema.names, [])
+
+
+def infer_csv_schema(
+    connector: StocatorConnector,
+    container: str,
+    prefix: str = "",
+    has_header: bool = False,
+    delimiter: str = ",",
+    sample_rows: int = 100,
+) -> Schema:
+    """Infer column names/types from the first object's head.
+
+    Names come from the header line when present (``_c<i>`` otherwise);
+    a type is INT/FLOAT only if every sampled value parses as one.
+    """
+    names = connector.client.list_objects(container, prefix=prefix, limit=1)
+    if not names:
+        raise ValueError(
+            f"cannot infer schema: no objects under /{container}/{prefix}"
+        )
+    _headers, head = connector.client.get_object(
+        container, names[0], byte_range=(0, 256 * 1024)
+    )
+    lines = head.split(b"\n")
+    records = [
+        _parse_record(line, delimiter)
+        for line in lines[: sample_rows + 1]
+        if line.strip()
+    ]
+    records = [record for record in records if record]
+    if not records:
+        raise ValueError(f"cannot infer schema: /{container}/{names[0]} empty")
+    if has_header:
+        header, records = records[0], records[1:]
+    else:
+        header = [f"_c{i}" for i in range(len(records[0]))]
+    width = len(header)
+    records = [record for record in records if len(record) == width]
+
+    fields = []
+    for position, name in enumerate(header):
+        values = [record[position] for record in records]
+        fields.append(Field(name, _infer_column_type(values)))
+    return Schema(fields)
+
+
+def _infer_column_type(values: List[str]) -> DataType:
+    non_empty = [value for value in values if value != ""]
+    if not non_empty:
+        return DataType.STRING
+    if all(_parses_as_int(value) for value in non_empty):
+        return DataType.INT
+    if all(_parses_as_float(value) for value in non_empty):
+        return DataType.FLOAT
+    return DataType.STRING
+
+
+def _parses_as_int(value: str) -> bool:
+    try:
+        int(value)
+        return True
+    except ValueError:
+        return False
+
+
+def _parses_as_float(value: str) -> bool:
+    try:
+        float(value)
+        return True
+    except ValueError:
+        return False

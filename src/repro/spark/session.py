@@ -1,0 +1,215 @@
+"""SparkSession: SQL entry point, catalog and the pushdown planner.
+
+``session.sql(...)`` is where the paper's flow (Section V-B) comes
+together: Catalyst extracts projection and selection filters from the
+query, the planner calls the richest Data Sources API flavor the
+relation supports, the relation's scan RDD issues (possibly tagged)
+parallel GETs, and the executor runs whatever part of the query was not
+pushed down over the returned rows.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.sql.catalyst import (
+    Optimizer,
+    PushdownSpec,
+    build_logical_plan,
+    extract_pushdown,
+)
+from repro.sql.errors import SqlAnalysisError
+from repro.sql.executor import execute_plan
+from repro.sql.parser import Query, parse_query
+from repro.sql.types import Row, Schema
+from repro.spark.dataframe import DataFrame
+from repro.spark.datasources import (
+    BaseRelation,
+    PrunedFilteredScan,
+    PrunedScan,
+    TableScan,
+    lookup_provider,
+    register_provider,
+)
+from repro.spark.rdd import RDD
+from repro.spark.scheduler import SparkContext
+
+
+class DataFrameReader:
+    """``session.read.format("csv").option(...).load(container)``."""
+
+    def __init__(self, session: "SparkSession"):
+        self.session = session
+        self._format = "csv"
+        self._options: Dict[str, Any] = {}
+
+    def format(self, format_name: str) -> "DataFrameReader":
+        self._format = format_name
+        return self
+
+    def option(self, key: str, value: Any) -> "DataFrameReader":
+        self._options[key] = value
+        return self
+
+    def options(self, **kwargs: Any) -> "DataFrameReader":
+        self._options.update(kwargs)
+        return self
+
+    def load(self, path: str) -> DataFrame:
+        provider = lookup_provider(self._format)
+        relation = provider(
+            self.session, path, dict(self._options)
+        )
+        name = f"__{self._format}_{path.strip('/').replace('/', '_')}"
+        self.session.register_table(name, relation)
+        return DataFrame(self.session, name)
+
+
+class SparkSession:
+    """Driver entry point pairing a context with a relation catalog."""
+
+    def __init__(self, context: Optional[SparkContext] = None):
+        self.context = context or SparkContext()
+        self._catalog: Dict[str, BaseRelation] = {}
+        self.last_pushdown: Optional[PushdownSpec] = None
+
+    @property
+    def read(self) -> DataFrameReader:
+        return DataFrameReader(self)
+
+    # -- catalog -----------------------------------------------------------
+
+    def register_table(self, name: str, relation: BaseRelation) -> None:
+        self._catalog[name.lower()] = relation
+
+    def table_names(self) -> List[str]:
+        return sorted(self._catalog)
+
+    def relation(self, name: str) -> BaseRelation:
+        relation = self._catalog.get(name.lower())
+        if relation is None:
+            raise SqlAnalysisError(
+                f"table or view not found: {name!r} "
+                f"(registered: {self.table_names()})"
+            )
+        return relation
+
+    # -- SQL -------------------------------------------------------------------
+
+    def sql(self, text: str) -> DataFrame:
+        query = parse_query(text)
+        return DataFrame(self, query.table, query)
+
+    def table(self, name: str) -> DataFrame:
+        self.relation(name)  # validate
+        return DataFrame(self, name)
+
+    # -- the planner -----------------------------------------------------------------
+
+    def execute_query_object(self, query: Query) -> Tuple[Schema, List[Row]]:
+        relation = self.relation(query.table)
+        base_schema = relation.schema()
+        spec = extract_pushdown(query, base_schema)
+        self.last_pushdown = spec
+
+        rdd, scan_schema = self._plan_scan(relation, base_schema, spec)
+        rows = rdd.collect()
+        plan = Optimizer().optimize(build_logical_plan(query, scan_schema))
+        return execute_plan(plan, lambda: iter(rows), scan_schema)
+
+    def _plan_scan(
+        self, relation: BaseRelation, base_schema: Schema, spec: PushdownSpec
+    ) -> Tuple[RDD, Schema]:
+        """Pick the richest Data Sources API flavor the relation offers."""
+        columns = spec.required_columns or base_schema.names
+        if isinstance(relation, PrunedFilteredScan):
+            return (
+                relation.build_scan_filtered(columns, spec.filters),
+                base_schema.select(columns),
+            )
+        if isinstance(relation, PrunedScan):
+            return (
+                relation.build_scan_pruned(columns),
+                base_schema.select(columns),
+            )
+        if isinstance(relation, TableScan):
+            return relation.build_scan(), base_schema
+        raise SqlAnalysisError(
+            f"relation {type(relation).__name__} implements no scan flavor"
+        )
+
+    def explain_query_object(self, query: Query) -> str:
+        relation = self.relation(query.table)
+        base_schema = relation.schema()
+        spec = extract_pushdown(query, base_schema)
+        plan = Optimizer().optimize(build_logical_plan(query, base_schema))
+        flavor = (
+            "PrunedFilteredScan"
+            if isinstance(relation, PrunedFilteredScan)
+            else "PrunedScan"
+            if isinstance(relation, PrunedScan)
+            else "TableScan"
+        )
+        return (
+            f"== Logical plan ==\n{plan.describe()}\n"
+            f"== Data source ==\n{type(relation).__name__} via {flavor}\n"
+            f"== Pushdown ==\n{spec.describe()}"
+        )
+
+
+# --------------------------------------------------------------------------
+# Built-in providers
+# --------------------------------------------------------------------------
+
+
+def _csv_provider(session: SparkSession, path: str, options: Dict[str, Any]):
+    from repro.spark.csv_source import CsvRelation
+
+    connector = options.get("connector")
+    if connector is None:
+        raise SqlAnalysisError(
+            "csv format needs option('connector', <StocatorConnector>)"
+        )
+    container, _slash, prefix = path.strip("/").partition("/")
+    return CsvRelation(
+        session.context,
+        connector,
+        container,
+        prefix=prefix,
+        schema=options.get("schema"),
+        has_header=_truthy(options.get("header", False)),
+        delimiter=options.get("delimiter", ","),
+        pushdown=_truthy(options.get("pushdown", True)),
+        storlet_name=options.get("storlet", "csvstorlet"),
+        run_on=options.get("run_on", "object"),
+    )
+
+
+def _parquet_provider(
+    session: SparkSession, path: str, options: Dict[str, Any]
+):
+    from repro.spark.parquet_source import ParquetRelation
+
+    connector = options.get("connector")
+    if connector is None:
+        raise SqlAnalysisError(
+            "parquet format needs option('connector', <StocatorConnector>)"
+        )
+    container, _slash, prefix = path.strip("/").partition("/")
+    return ParquetRelation(
+        session.context,
+        connector,
+        container,
+        prefix=prefix,
+        schema=options.get("schema"),
+    )
+
+
+def _truthy(value: Any) -> bool:
+    if isinstance(value, str):
+        return value.strip().lower() in ("1", "true", "yes", "on")
+    return bool(value)
+
+
+register_provider("csv", _csv_provider)
+register_provider("parquet", _parquet_provider)

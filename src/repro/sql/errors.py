@@ -1,0 +1,26 @@
+"""SQL engine error types."""
+
+from __future__ import annotations
+
+
+class SqlError(Exception):
+    """Base class for SQL engine errors."""
+
+
+class SqlParseError(SqlError):
+    """Raised when query text cannot be tokenized or parsed."""
+
+    def __init__(self, message: str, position: int = -1):
+        self.position = position
+        if position >= 0:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+
+
+class SqlAnalysisError(SqlError):
+    """Raised for semantically invalid queries (unknown column, bad
+    aggregate placement...)."""
+
+
+class SqlTypeError(SqlError):
+    """Raised when an expression is applied to incompatible values."""

@@ -1,0 +1,428 @@
+"""Physical execution of logical plans (volcano-style iterators).
+
+The executor turns a logical plan into nested Python iterators: scan ->
+filter -> hash aggregate / project -> distinct -> sort -> limit.  It is
+used on both sides of the pushdown boundary: the Spark workers run the
+part of the query that was *not* pushed down, and tests use it as the
+reference implementation that pushdown results must match.
+
+Aggregation notes: GROUP BY keys may be arbitrary expressions (the
+GridPocket queries group by ``SUBSTRING(date, 0, 7)``); output
+expressions may mix aggregates with grouping expressions.  ORDER BY above
+an aggregate may reference either select aliases or grouping expressions;
+the aggregate operator therefore appends its group-key values as hidden
+trailing columns which the sort resolves against and the top level strips.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator, List, Optional, Tuple
+
+from repro.sql.catalyst import (
+    AggregateNode,
+    DistinctNode,
+    FilterNode,
+    LimitNode,
+    LogicalPlan,
+    Optimizer,
+    ProjectNode,
+    ScanNode,
+    SortNode,
+    build_logical_plan,
+)
+from repro.sql.errors import SqlAnalysisError
+from repro.sql.expressions import (
+    Aggregate,
+    BinaryOp,
+    Column,
+    Expression,
+    FunctionCall,
+    Literal,
+    SelectItem,
+)
+from repro.sql.functions import make_accumulator
+from repro.sql.parser import Query, parse_query
+from repro.sql.types import DataType, Field, Row, Schema
+
+RowSource = Callable[[], Iterable[Row]]
+
+
+@dataclass
+class Compiled:
+    """An operator's output: schema, row iterator factory, hidden cols.
+
+    ``group_exprs`` records, for aggregate outputs, which GROUP BY
+    expression each hidden ``__group_i`` column carries -- ORDER BY above
+    an aggregate resolves repeated grouping expressions through it.
+    """
+
+    schema: Schema
+    rows: Callable[[], Iterator[Row]]
+    hidden: int = 0
+    group_exprs: Optional[List[Expression]] = None
+
+    def visible_schema(self) -> Schema:
+        if not self.hidden:
+            return self.schema
+        return Schema(self.schema.fields[: -self.hidden])
+
+
+def execute_plan(
+    plan: LogicalPlan, source: RowSource, scan_schema: Schema
+) -> Tuple[Schema, List[Row]]:
+    """Run ``plan`` over rows from ``source`` (which must match
+    ``scan_schema``); returns the visible output schema and rows."""
+    compiled = _compile(plan, source, scan_schema)
+    rows = list(compiled.rows())
+    if compiled.hidden:
+        rows = [row[: -compiled.hidden] for row in rows]
+    return compiled.visible_schema(), rows
+
+
+def execute_query(
+    text: str, schema: Schema, rows: Iterable[Row]
+) -> Tuple[Schema, List[Row]]:
+    """Parse, optimize and execute SQL over in-memory rows."""
+    query = parse_query(text)
+    plan = Optimizer().optimize(build_logical_plan(query, schema))
+    materialized = list(rows)
+    return execute_plan(plan, lambda: iter(materialized), schema)
+
+
+# --------------------------------------------------------------------------
+# Compilation
+# --------------------------------------------------------------------------
+
+
+def _compile(plan: LogicalPlan, source: RowSource, scan_schema: Schema) -> Compiled:
+    if isinstance(plan, ScanNode):
+        return Compiled(scan_schema, lambda: iter(source()))
+    if isinstance(plan, FilterNode):
+        return _compile_filter(plan, _compile(plan.child, source, scan_schema))
+    if isinstance(plan, ProjectNode):
+        return _compile_project(plan, _compile(plan.child, source, scan_schema))
+    if isinstance(plan, AggregateNode):
+        return _compile_aggregate(plan, _compile(plan.child, source, scan_schema))
+    if isinstance(plan, DistinctNode):
+        return _compile_distinct(_compile(plan.child, source, scan_schema))
+    if isinstance(plan, SortNode):
+        return _compile_sort(plan, _compile(plan.child, source, scan_schema))
+    if isinstance(plan, LimitNode):
+        return _compile_limit(plan, _compile(plan.child, source, scan_schema))
+    raise SqlAnalysisError(f"unknown plan node {type(plan).__name__}")
+
+
+def _compile_filter(node: FilterNode, child: Compiled) -> Compiled:
+    predicate = node.condition.bind(child.schema)
+
+    def rows() -> Iterator[Row]:
+        for row in child.rows():
+            if predicate(row) is True:
+                yield row
+
+    return Compiled(child.schema, rows, child.hidden)
+
+
+def _compile_project(node: ProjectNode, child: Compiled) -> Compiled:
+    schema = Schema(
+        [
+            Field(item.output_name, infer_type(item.expression, child.schema))
+            for item in node.items
+        ]
+    )
+    evaluators = [item.expression.bind(child.schema) for item in node.items]
+
+    def rows() -> Iterator[Row]:
+        for row in child.rows():
+            yield tuple(evaluate(row) for evaluate in evaluators)
+
+    return Compiled(schema, rows, 0)
+
+
+def _compile_aggregate(node: AggregateNode, child: Compiled) -> Compiled:
+    input_schema = child.schema
+    key_evals = [expression.bind(input_schema) for expression in node.group_by]
+
+    # Collect the distinct aggregate calls across all output items, plus
+    # any aggregates the HAVING clause references but the items do not.
+    aggregates: List[Aggregate] = []
+    for item in node.items:
+        for aggregate in item.expression.aggregates():
+            if aggregate not in aggregates:
+                aggregates.append(aggregate)
+    if node.having is not None:
+        for aggregate in node.having.aggregates():
+            if aggregate not in aggregates:
+                aggregates.append(aggregate)
+    aggregate_inputs = [agg.bind_input(input_schema) for agg in aggregates]
+
+    # Post-aggregation row layout: [key_0..key_k, agg_0..agg_m].
+    post_fields = [
+        Field(f"__key_{i}", infer_type(e, input_schema))
+        for i, e in enumerate(node.group_by)
+    ] + [
+        Field(f"__agg_{j}", _aggregate_type(agg, input_schema))
+        for j, agg in enumerate(aggregates)
+    ]
+    post_schema = Schema(post_fields)
+
+    rewritten_items = [
+        SelectItem(
+            _rewrite_post_agg(item.expression, node.group_by, aggregates),
+            item.alias,
+        )
+        for item in node.items
+    ]
+    for item in rewritten_items:
+        leftover = item.expression.columns() - {
+            field.name.lower() for field in post_fields
+        }
+        if leftover:
+            raise SqlAnalysisError(
+                f"column(s) {sorted(leftover)} are neither grouped nor "
+                f"aggregated in {item.to_sql()!r}"
+            )
+    output_evals = [
+        item.expression.bind(post_schema) for item in rewritten_items
+    ]
+
+    having_eval = None
+    if node.having is not None:
+        rewritten_having = _rewrite_post_agg(
+            node.having, node.group_by, aggregates
+        )
+        leftover = rewritten_having.columns() - {
+            field.name.lower() for field in post_fields
+        }
+        if leftover:
+            raise SqlAnalysisError(
+                f"HAVING references non-grouped column(s) {sorted(leftover)}"
+            )
+        having_eval = rewritten_having.bind(post_schema)
+    visible_fields = [
+        Field(
+            node.items[i].output_name,
+            infer_type(node.items[i].expression, input_schema),
+        )
+        for i in range(len(node.items))
+    ]
+    hidden_key_fields = [
+        Field(f"__group_{i}", infer_type(e, input_schema))
+        for i, e in enumerate(node.group_by)
+    ]
+    schema = Schema(visible_fields + hidden_key_fields)
+
+    def rows() -> Iterator[Row]:
+        groups: dict = {}
+        order: List[Tuple] = []
+        for row in child.rows():
+            key = tuple(evaluate(row) for evaluate in key_evals)
+            accumulators = groups.get(key)
+            if accumulators is None:
+                accumulators = [
+                    make_accumulator(agg.name, agg.distinct)
+                    for agg in aggregates
+                ]
+                groups[key] = accumulators
+                order.append(key)
+            for accumulator, input_eval in zip(accumulators, aggregate_inputs):
+                accumulator.add(input_eval(row))
+        if not order and not node.group_by:
+            # Global aggregate over empty input still yields one row.
+            order.append(())
+            groups[()] = [
+                make_accumulator(agg.name, agg.distinct) for agg in aggregates
+            ]
+        for key in order:
+            accumulators = groups[key]
+            post_row = key + tuple(acc.result() for acc in accumulators)
+            if having_eval is not None and having_eval(post_row) is not True:
+                continue
+            outputs = tuple(evaluate(post_row) for evaluate in output_evals)
+            yield outputs + key
+
+    return Compiled(
+        schema, rows, hidden=len(node.group_by), group_exprs=list(node.group_by)
+    )
+
+
+def _rewrite_post_agg(
+    expression: Expression,
+    group_by: List[Expression],
+    aggregates: List[Aggregate],
+) -> Expression:
+    """Replace grouping subtrees / aggregate calls with post-agg columns."""
+    for index, group_expression in enumerate(group_by):
+        if expression == group_expression:
+            return Column(f"__key_{index}")
+    if isinstance(expression, Aggregate):
+        return Column(f"__agg_{aggregates.index(expression)}")
+    from repro.sql.catalyst import _rewrite_children  # reuse child walker
+
+    return _rewrite_children(
+        expression, lambda child: _rewrite_post_agg(child, group_by, aggregates)
+    )
+
+
+def _compile_distinct(child: Compiled) -> Compiled:
+    def rows() -> Iterator[Row]:
+        seen = set()
+        for row in child.rows():
+            visible = row[: len(row) - child.hidden] if child.hidden else row
+            if visible not in seen:
+                seen.add(visible)
+                yield row
+
+    return Compiled(child.schema, rows, child.hidden, child.group_exprs)
+
+
+class _NullsLast:
+    """Sort key wrapper ordering None after every value (ascending)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    def __lt__(self, other: "_NullsLast") -> bool:
+        if self.value is None:
+            return False
+        if other.value is None:
+            return True
+        return self.value < other.value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _NullsLast) and self.value == other.value
+
+
+class _NullsFirst:
+    """Sort key wrapper ordering None before every value; used with
+    ``reverse=True`` so that NULLs still land last in DESC order."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    def __lt__(self, other: "_NullsFirst") -> bool:
+        if self.value is None:
+            return other.value is not None
+        if other.value is None:
+            return False
+        return self.value < other.value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _NullsFirst) and self.value == other.value
+
+
+def _compile_sort(node: SortNode, child: Compiled) -> Compiled:
+    evaluators: List[Tuple[Callable, bool]] = []
+    for expression, ascending in node.order_by:
+        evaluators.append((_resolve_sort_key(expression, child), ascending))
+
+    def rows() -> Iterator[Row]:
+        materialized = list(child.rows())
+        # Stable sorts compose: apply keys right-to-left.  NULLs sort
+        # last in both directions.
+        for evaluate, ascending in reversed(evaluators):
+            if ascending:
+                materialized.sort(key=lambda row: _NullsLast(evaluate(row)))
+            else:
+                materialized.sort(
+                    key=lambda row: _NullsFirst(evaluate(row)), reverse=True
+                )
+        return iter(materialized)
+
+    return Compiled(child.schema, rows, child.hidden, child.group_exprs)
+
+
+def _resolve_sort_key(expression: Expression, child: Compiled) -> Callable:
+    """Bind an ORDER BY expression against the child's full schema.
+
+    Resolution order: output column / alias name, then hidden group key
+    (for aggregates, any expression textually equal to a GROUP BY key has
+    been exposed as ``__group_i``), then a direct bind (projection over
+    base columns).
+    """
+    if child.group_exprs:
+        for index, group_expression in enumerate(child.group_exprs):
+            if expression == group_expression:
+                return Column(f"__group_{index}").bind(child.schema)
+    if isinstance(expression, Column) and expression.name in child.schema:
+        return expression.bind(child.schema)
+    try:
+        return expression.bind(child.schema)
+    except SqlAnalysisError:
+        pass
+    raise SqlAnalysisError(
+        f"cannot resolve ORDER BY expression {expression.to_sql()!r} "
+        f"against columns {child.visible_schema().names}"
+    )
+
+
+def _compile_limit(node: LimitNode, child: Compiled) -> Compiled:
+    def rows() -> Iterator[Row]:
+        return itertools.islice(child.rows(), node.count)
+
+    return Compiled(child.schema, rows, child.hidden, child.group_exprs)
+
+
+# --------------------------------------------------------------------------
+# Output type inference
+# --------------------------------------------------------------------------
+
+_INT_FUNCTIONS = {"length", "year", "month", "day", "hour", "floor", "ceil", "int"}
+_STRING_FUNCTIONS = {"substring", "substr", "upper", "lower", "trim", "concat"}
+
+
+def infer_type(expression: Expression, schema: Schema) -> DataType:
+    """Best-effort output type of an expression (STRING when unsure)."""
+    if isinstance(expression, Column):
+        if expression.name in schema:
+            return schema.field(expression.name).dtype
+        return DataType.STRING
+    if isinstance(expression, Literal):
+        if isinstance(expression.value, bool):
+            return DataType.BOOL
+        if isinstance(expression.value, int):
+            return DataType.INT
+        if isinstance(expression.value, float):
+            return DataType.FLOAT
+        return DataType.STRING
+    if isinstance(expression, Aggregate):
+        return _aggregate_type(expression, schema)
+    if isinstance(expression, FunctionCall):
+        if expression.name in _INT_FUNCTIONS:
+            return DataType.INT
+        if expression.name in _STRING_FUNCTIONS:
+            return DataType.STRING
+        if expression.name in ("round", "float"):
+            return DataType.FLOAT
+        return DataType.STRING
+    if isinstance(expression, BinaryOp):
+        if expression.op in ("and", "or"):
+            return DataType.BOOL
+        if expression.op in ("=", "<>", "!=", "<", "<=", ">", ">="):
+            return DataType.BOOL
+        if expression.op == "||":
+            return DataType.STRING
+        left = infer_type(expression.left, schema)
+        right = infer_type(expression.right, schema)
+        if DataType.FLOAT in (left, right) or expression.op == "/":
+            return DataType.FLOAT
+        return DataType.INT
+    return DataType.STRING
+
+
+def _aggregate_type(aggregate: Aggregate, schema: Schema) -> DataType:
+    if aggregate.name == "count":
+        return DataType.INT
+    if aggregate.name == "avg":
+        return DataType.FLOAT
+    from repro.sql.expressions import Star
+
+    if isinstance(aggregate.arg, Star):
+        return DataType.INT
+    return infer_type(aggregate.arg, schema)

@@ -1,0 +1,326 @@
+"""Data-source filters: the wire format of a pushdown selection.
+
+These mirror Spark SQL's ``org.apache.spark.sql.sources.Filter``
+hierarchy -- the representation Catalyst hands to a
+``PrunedFilteredScan`` data source.  In Scoop these filters travel
+further: serialized to JSON, attached as request metadata to the object
+GET, and evaluated by the CSV storlet next to the disk.
+
+Evaluation here is *conservative* (NULL never matches), matching Spark's
+contract that a data source may only drop rows the filter definitely
+rejects.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set
+
+from repro.sql.errors import SqlError
+from repro.sql.types import Row, Schema
+
+Predicate = Callable[[Row], bool]
+
+
+class Filter:
+    """Base class for source filters."""
+
+    op = "filter"
+
+    def references(self) -> Set[str]:
+        raise NotImplementedError
+
+    def to_predicate(self, schema: Schema) -> Predicate:
+        raise NotImplementedError
+
+    def to_dict(self) -> Dict[str, Any]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return json.dumps(self.to_dict())
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Filter) and self.to_dict() == other.to_dict()
+
+    def __hash__(self) -> int:
+        return hash(json.dumps(self.to_dict(), sort_keys=True))
+
+
+class _AttributeFilter(Filter):
+    """A filter on one attribute against a constant."""
+
+    def __init__(self, attribute: str, value: Any = None):
+        self.attribute = attribute
+        self.value = value
+
+    def references(self) -> Set[str]:
+        return {self.attribute.lower()}
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"op": self.op, "attr": self.attribute, "value": self.value}
+
+    def _comparer(self) -> Callable[[Any, Any], bool]:
+        raise NotImplementedError
+
+    def to_predicate(self, schema: Schema) -> Predicate:
+        index = schema.index_of(self.attribute)
+        value = self.value
+        compare = self._comparer()
+
+        def predicate(row: Row) -> bool:
+            cell = row[index]
+            if cell is None:
+                return False
+            try:
+                return compare(cell, value)
+            except TypeError:
+                return False
+
+        return predicate
+
+
+class EqualTo(_AttributeFilter):
+    op = "eq"
+
+    def _comparer(self):
+        return lambda a, b: a == b
+
+
+class GreaterThan(_AttributeFilter):
+    op = "gt"
+
+    def _comparer(self):
+        return lambda a, b: a > b
+
+
+class GreaterThanOrEqual(_AttributeFilter):
+    op = "gte"
+
+    def _comparer(self):
+        return lambda a, b: a >= b
+
+
+class LessThan(_AttributeFilter):
+    op = "lt"
+
+    def _comparer(self):
+        return lambda a, b: a < b
+
+
+class LessThanOrEqual(_AttributeFilter):
+    op = "lte"
+
+    def _comparer(self):
+        return lambda a, b: a <= b
+
+
+class StringStartsWith(_AttributeFilter):
+    op = "starts_with"
+
+    def _comparer(self):
+        return lambda a, b: str(a).startswith(b)
+
+
+class StringEndsWith(_AttributeFilter):
+    op = "ends_with"
+
+    def _comparer(self):
+        return lambda a, b: str(a).endswith(b)
+
+
+class StringContains(_AttributeFilter):
+    op = "contains"
+
+    def _comparer(self):
+        return lambda a, b: b in str(a)
+
+
+class In(_AttributeFilter):
+    op = "in"
+
+    def __init__(self, attribute: str, values: Sequence[Any]):
+        super().__init__(attribute, list(values))
+
+    def to_predicate(self, schema: Schema) -> Predicate:
+        index = schema.index_of(self.attribute)
+        members = set(self.value)
+
+        def predicate(row: Row) -> bool:
+            cell = row[index]
+            return cell is not None and cell in members
+
+        return predicate
+
+
+class IsNull(_AttributeFilter):
+    op = "is_null"
+
+    def __init__(self, attribute: str):
+        super().__init__(attribute, None)
+
+    def to_predicate(self, schema: Schema) -> Predicate:
+        index = schema.index_of(self.attribute)
+        return lambda row: row[index] is None
+
+
+class IsNotNull(_AttributeFilter):
+    op = "is_not_null"
+
+    def __init__(self, attribute: str):
+        super().__init__(attribute, None)
+
+    def to_predicate(self, schema: Schema) -> Predicate:
+        index = schema.index_of(self.attribute)
+        return lambda row: row[index] is not None
+
+
+class LikePattern(_AttributeFilter):
+    """A general LIKE pattern (%, _).
+
+    Spark does not push arbitrary LIKE, but Scoop's CSV storlet can
+    evaluate it; the delegator decomposes prefix/suffix/contains shapes
+    into the simpler filters above and uses this node for the rest.
+    """
+
+    op = "like"
+
+    def to_predicate(self, schema: Schema) -> Predicate:
+        from repro.sql.expressions import like_pattern_to_regex
+
+        index = schema.index_of(self.attribute)
+        regex = like_pattern_to_regex(self.value)
+
+        def predicate(row: Row) -> bool:
+            cell = row[index]
+            return cell is not None and regex.match(str(cell)) is not None
+
+        return predicate
+
+
+class And(Filter):
+    op = "and"
+
+    def __init__(self, left: Filter, right: Filter):
+        self.left = left
+        self.right = right
+
+    def references(self) -> Set[str]:
+        return self.left.references() | self.right.references()
+
+    def to_predicate(self, schema: Schema) -> Predicate:
+        left = self.left.to_predicate(schema)
+        right = self.right.to_predicate(schema)
+        return lambda row: left(row) and right(row)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "op": self.op,
+            "left": self.left.to_dict(),
+            "right": self.right.to_dict(),
+        }
+
+
+class Or(Filter):
+    op = "or"
+
+    def __init__(self, left: Filter, right: Filter):
+        self.left = left
+        self.right = right
+
+    def references(self) -> Set[str]:
+        return self.left.references() | self.right.references()
+
+    def to_predicate(self, schema: Schema) -> Predicate:
+        left = self.left.to_predicate(schema)
+        right = self.right.to_predicate(schema)
+        return lambda row: left(row) or right(row)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "op": self.op,
+            "left": self.left.to_dict(),
+            "right": self.right.to_dict(),
+        }
+
+
+class Not(Filter):
+    op = "not"
+
+    def __init__(self, child: Filter):
+        self.child = child
+
+    def references(self) -> Set[str]:
+        return self.child.references()
+
+    def to_predicate(self, schema: Schema) -> Predicate:
+        child = self.child.to_predicate(schema)
+        return lambda row: not child(row)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"op": self.op, "child": self.child.to_dict()}
+
+
+_SIMPLE_CLASSES: Dict[str, type] = {
+    cls.op: cls
+    for cls in (
+        EqualTo,
+        GreaterThan,
+        GreaterThanOrEqual,
+        LessThan,
+        LessThanOrEqual,
+        StringStartsWith,
+        StringEndsWith,
+        StringContains,
+        LikePattern,
+    )
+}
+
+
+def filter_from_dict(payload: Dict[str, Any]) -> Filter:
+    """Deserialize one filter from its dict form."""
+    op = payload.get("op")
+    if op in _SIMPLE_CLASSES:
+        return _SIMPLE_CLASSES[op](payload["attr"], payload["value"])
+    if op == "in":
+        return In(payload["attr"], payload["value"])
+    if op == "is_null":
+        return IsNull(payload["attr"])
+    if op == "is_not_null":
+        return IsNotNull(payload["attr"])
+    if op == "and":
+        return And(
+            filter_from_dict(payload["left"]), filter_from_dict(payload["right"])
+        )
+    if op == "or":
+        return Or(
+            filter_from_dict(payload["left"]), filter_from_dict(payload["right"])
+        )
+    if op == "not":
+        return Not(filter_from_dict(payload["child"]))
+    raise SqlError(f"unknown filter op in payload: {op!r}")
+
+
+def filters_to_json(filters: Sequence[Filter]) -> str:
+    """Serialize a conjunctive filter list for HTTP transport."""
+    return json.dumps([item.to_dict() for item in filters])
+
+
+def filters_from_json(text: str) -> List[Filter]:
+    payload = json.loads(text)
+    if not isinstance(payload, list):
+        raise SqlError("filter payload must be a JSON list")
+    return [filter_from_dict(item) for item in payload]
+
+
+def conjunction_predicate(
+    filters: Sequence[Filter], schema: Schema
+) -> Predicate:
+    """AND together a filter list into one row predicate."""
+    predicates = [item.to_predicate(schema) for item in filters]
+    if not predicates:
+        return lambda row: True
+
+    def predicate(row: Row) -> bool:
+        return all(check(row) for check in predicates)
+
+    return predicate

@@ -1,0 +1,308 @@
+"""Scalar function library and aggregate accumulators.
+
+SUBSTRING follows Spark semantics: positions are 1-based and position 0
+behaves like 1 (the GridPocket queries in Table I all use
+``SUBSTRING(date, 0, k)`` to truncate ISO timestamps).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.sql.errors import SqlAnalysisError
+
+
+def _null_safe(function: Callable) -> Callable:
+    """Return None when any argument is None (SQL scalar convention)."""
+
+    def wrapper(*args: Any) -> Any:
+        if any(arg is None for arg in args):
+            return None
+        return function(*args)
+
+    return wrapper
+
+
+@_null_safe
+def sql_substring(value: Any, position: int, length: Optional[int] = None) -> str:
+    text = str(value)
+    position = int(position)
+    if position > 0:
+        start = position - 1
+    elif position == 0:
+        start = 0
+    else:
+        start = max(0, len(text) + position)
+    if length is None:
+        return text[start:]
+    if length < 0:
+        return ""
+    return text[start : start + int(length)]
+
+
+@_null_safe
+def sql_upper(value: Any) -> str:
+    return str(value).upper()
+
+
+@_null_safe
+def sql_lower(value: Any) -> str:
+    return str(value).lower()
+
+
+@_null_safe
+def sql_length(value: Any) -> int:
+    return len(str(value))
+
+
+@_null_safe
+def sql_trim(value: Any) -> str:
+    return str(value).strip()
+
+
+def sql_concat(*args: Any) -> Optional[str]:
+    if any(arg is None for arg in args):
+        return None
+    return "".join(str(arg) for arg in args)
+
+
+@_null_safe
+def sql_abs(value: Any):
+    return abs(value)
+
+
+@_null_safe
+def sql_round(value: Any, digits: int = 0):
+    return round(float(value), int(digits))
+
+
+@_null_safe
+def sql_floor(value: Any) -> int:
+    return math.floor(value)
+
+
+@_null_safe
+def sql_ceil(value: Any) -> int:
+    return math.ceil(value)
+
+
+def sql_coalesce(*args: Any) -> Any:
+    for arg in args:
+        if arg is not None:
+            return arg
+    return None
+
+
+@_null_safe
+def sql_cast_int(value: Any) -> int:
+    return int(float(value))
+
+
+@_null_safe
+def sql_cast_float(value: Any) -> float:
+    return float(value)
+
+
+@_null_safe
+def sql_year(value: Any) -> int:
+    return int(str(value)[0:4])
+
+
+@_null_safe
+def sql_month(value: Any) -> int:
+    return int(str(value)[5:7])
+
+
+@_null_safe
+def sql_day(value: Any) -> int:
+    return int(str(value)[8:10])
+
+
+@_null_safe
+def sql_hour(value: Any) -> int:
+    return int(str(value)[11:13])
+
+
+# name -> (min_args, max_args, callable); max_args None = variadic
+_SCALARS: Dict[str, Tuple[int, Optional[int], Callable]] = {
+    "substring": (2, 3, sql_substring),
+    "substr": (2, 3, sql_substring),
+    "upper": (1, 1, sql_upper),
+    "lower": (1, 1, sql_lower),
+    "length": (1, 1, sql_length),
+    "trim": (1, 1, sql_trim),
+    "concat": (1, None, sql_concat),
+    "abs": (1, 1, sql_abs),
+    "round": (1, 2, sql_round),
+    "floor": (1, 1, sql_floor),
+    "ceil": (1, 1, sql_ceil),
+    "coalesce": (1, None, sql_coalesce),
+    "int": (1, 1, sql_cast_int),
+    "float": (1, 1, sql_cast_float),
+    "year": (1, 1, sql_year),
+    "month": (1, 1, sql_month),
+    "day": (1, 1, sql_day),
+    "hour": (1, 1, sql_hour),
+}
+
+
+def lookup_scalar(name: str, arg_count: int) -> Callable:
+    entry = _SCALARS.get(name.lower())
+    if entry is None:
+        raise SqlAnalysisError(f"unknown function {name!r}")
+    minimum, maximum, function = entry
+    if arg_count < minimum or (maximum is not None and arg_count > maximum):
+        raise SqlAnalysisError(
+            f"{name.upper()} takes "
+            f"{minimum if maximum == minimum else f'{minimum}..{maximum or chr(8734)}'} "
+            f"arguments, got {arg_count}"
+        )
+    return function
+
+
+def scalar_function_names() -> List[str]:
+    return sorted(_SCALARS)
+
+
+class Accumulator:
+    """Incremental state for one aggregate over one group."""
+
+    def add(self, value: Any) -> None:
+        raise NotImplementedError
+
+    def result(self) -> Any:
+        raise NotImplementedError
+
+
+class SumAccumulator(Accumulator):
+    def __init__(self) -> None:
+        self.total: Any = None
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        self.total = value if self.total is None else self.total + value
+
+    def result(self) -> Any:
+        return self.total
+
+
+class CountAccumulator(Accumulator):
+    def __init__(self) -> None:
+        self.count = 0
+
+    def add(self, value: Any) -> None:
+        if value is not None:
+            self.count += 1
+
+    def result(self) -> int:
+        return self.count
+
+
+class MinAccumulator(Accumulator):
+    def __init__(self) -> None:
+        self.best: Any = None
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        if self.best is None or value < self.best:
+            self.best = value
+
+    def result(self) -> Any:
+        return self.best
+
+
+class MaxAccumulator(Accumulator):
+    def __init__(self) -> None:
+        self.best: Any = None
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        if self.best is None or value > self.best:
+            self.best = value
+
+    def result(self) -> Any:
+        return self.best
+
+
+class AvgAccumulator(Accumulator):
+    def __init__(self) -> None:
+        self.total = 0.0
+        self.count = 0
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        self.total += value
+        self.count += 1
+
+    def result(self) -> Optional[float]:
+        if self.count == 0:
+            return None
+        return self.total / self.count
+
+
+class FirstValueAccumulator(Accumulator):
+    def __init__(self) -> None:
+        self.seen = False
+        self.value: Any = None
+
+    def add(self, value: Any) -> None:
+        if not self.seen:
+            self.seen = True
+            self.value = value
+
+    def result(self) -> Any:
+        return self.value
+
+
+class LastValueAccumulator(Accumulator):
+    def __init__(self) -> None:
+        self.value: Any = None
+
+    def add(self, value: Any) -> None:
+        self.value = value
+
+    def result(self) -> Any:
+        return self.value
+
+
+class DistinctAccumulator(Accumulator):
+    """Wraps another accumulator, feeding it each distinct value once."""
+
+    def __init__(self, inner: Accumulator):
+        self.inner = inner
+        self.seen: set = set()
+
+    def add(self, value: Any) -> None:
+        if value in self.seen:
+            return
+        self.seen.add(value)
+        self.inner.add(value)
+
+    def result(self) -> Any:
+        return self.inner.result()
+
+
+_ACCUMULATORS: Dict[str, Callable[[], Accumulator]] = {
+    "sum": SumAccumulator,
+    "count": CountAccumulator,
+    "min": MinAccumulator,
+    "max": MaxAccumulator,
+    "avg": AvgAccumulator,
+    "first_value": FirstValueAccumulator,
+    "last_value": LastValueAccumulator,
+}
+
+
+def make_accumulator(name: str, distinct: bool = False) -> Accumulator:
+    factory = _ACCUMULATORS.get(name.lower())
+    if factory is None:
+        raise SqlAnalysisError(f"unknown aggregate {name!r}")
+    accumulator = factory()
+    if distinct:
+        accumulator = DistinctAccumulator(accumulator)
+    return accumulator

@@ -1,0 +1,380 @@
+"""Recursive-descent parser producing :class:`Query` ASTs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.sql.errors import SqlParseError
+from repro.sql.expressions import (
+    AGGREGATE_NAMES,
+    Aggregate,
+    Between,
+    BinaryOp,
+    CaseWhen,
+    Column,
+    Expression,
+    FunctionCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    SelectItem,
+    Star,
+    UnaryOp,
+)
+from repro.sql.lexer import Token, TokenType, tokenize
+
+
+@dataclass
+class Query:
+    """A parsed SELECT statement."""
+
+    items: List[SelectItem]
+    table: str
+    distinct: bool = False
+    where: Optional[Expression] = None
+    group_by: List[Expression] = field(default_factory=list)
+    having: Optional[Expression] = None
+    order_by: List[Tuple[Expression, bool]] = field(default_factory=list)
+    limit: Optional[int] = None
+
+    def to_sql(self) -> str:
+        parts = ["SELECT"]
+        if self.distinct:
+            parts.append("DISTINCT")
+        parts.append(", ".join(item.to_sql() for item in self.items))
+        parts.append(f"FROM {self.table}")
+        if self.where is not None:
+            parts.append(f"WHERE {self.where.to_sql()}")
+        if self.group_by:
+            parts.append(
+                "GROUP BY " + ", ".join(e.to_sql() for e in self.group_by)
+            )
+        if self.having is not None:
+            parts.append(f"HAVING {self.having.to_sql()}")
+        if self.order_by:
+            rendered = ", ".join(
+                e.to_sql() + ("" if ascending else " DESC")
+                for e, ascending in self.order_by
+            )
+            parts.append("ORDER BY " + rendered)
+        if self.limit is not None:
+            parts.append(f"LIMIT {self.limit}")
+        return " ".join(parts)
+
+
+def parse_query(text: str) -> Query:
+    """Parse SQL text into a :class:`Query`; raises :class:`SqlParseError`."""
+    return _Parser(tokenize(text)).parse()
+
+
+def parse_expression(text: str) -> Expression:
+    """Parse a standalone expression (used by tests and filter tooling)."""
+    parser = _Parser(tokenize(text))
+    expression = parser._expression()
+    parser._expect_eof()
+    return expression
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token helpers -------------------------------------------------------
+
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._current
+        if token.type is not TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def _check(self, token_type: TokenType, text: Optional[str] = None) -> bool:
+        token = self._current
+        if token.type is not token_type:
+            return False
+        return text is None or token.text == text
+
+    def _accept(self, token_type: TokenType, text: Optional[str] = None) -> bool:
+        if self._check(token_type, text):
+            self._advance()
+            return True
+        return False
+
+    def _accept_keyword(self, *words: str) -> bool:
+        if self._current.is_keyword(*words):
+            self._advance()
+            return True
+        return False
+
+    def _expect(self, token_type: TokenType, text: Optional[str] = None) -> Token:
+        if not self._check(token_type, text):
+            raise SqlParseError(
+                f"expected {text or token_type.value}, got "
+                f"{self._current.text!r}",
+                self._current.position,
+            )
+        return self._advance()
+
+    def _expect_keyword(self, word: str) -> None:
+        if not self._accept_keyword(word):
+            raise SqlParseError(
+                f"expected {word.upper()}, got {self._current.text!r}",
+                self._current.position,
+            )
+
+    def _expect_eof(self) -> None:
+        if self._current.type is not TokenType.EOF:
+            raise SqlParseError(
+                f"unexpected trailing input: {self._current.text!r}",
+                self._current.position,
+            )
+
+    # -- grammar --------------------------------------------------------------
+
+    def parse(self) -> Query:
+        self._expect_keyword("select")
+        distinct = self._accept_keyword("distinct")
+        items = self._select_items()
+        self._expect_keyword("from")
+        table = self._expect(TokenType.IDENT).text
+
+        where = None
+        if self._accept_keyword("where"):
+            where = self._expression()
+
+        group_by: List[Expression] = []
+        if self._accept_keyword("group"):
+            self._expect_keyword("by")
+            group_by = self._expression_list()
+
+        having = None
+        if self._accept_keyword("having"):
+            having = self._expression()
+
+        order_by: List[Tuple[Expression, bool]] = []
+        if self._accept_keyword("order"):
+            self._expect_keyword("by")
+            while True:
+                expression = self._expression()
+                ascending = True
+                if self._accept_keyword("desc"):
+                    ascending = False
+                else:
+                    self._accept_keyword("asc")
+                order_by.append((expression, ascending))
+                if not self._accept(TokenType.COMMA):
+                    break
+
+        limit = None
+        if self._accept_keyword("limit"):
+            token = self._expect(TokenType.NUMBER)
+            limit = int(token.text)
+
+        self._expect_eof()
+        return Query(
+            items=items,
+            table=table,
+            distinct=distinct,
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=limit,
+        )
+
+    def _select_items(self) -> List[SelectItem]:
+        items: List[SelectItem] = []
+        while True:
+            if self._accept(TokenType.STAR):
+                items.append(SelectItem(Star()))
+            else:
+                expression = self._expression()
+                alias = None
+                if self._accept_keyword("as"):
+                    alias = self._expect(TokenType.IDENT).text
+                elif self._check(TokenType.IDENT):
+                    alias = self._advance().text
+                items.append(SelectItem(expression, alias))
+            if not self._accept(TokenType.COMMA):
+                return items
+
+    def _expression_list(self) -> List[Expression]:
+        expressions = [self._expression()]
+        while self._accept(TokenType.COMMA):
+            expressions.append(self._expression())
+        return expressions
+
+    # Precedence: OR < AND < NOT < predicate < additive < multiplicative < unary
+    def _expression(self) -> Expression:
+        return self._or_expr()
+
+    def _or_expr(self) -> Expression:
+        left = self._and_expr()
+        while self._accept_keyword("or"):
+            left = BinaryOp("or", left, self._and_expr())
+        return left
+
+    def _and_expr(self) -> Expression:
+        left = self._not_expr()
+        while self._accept_keyword("and"):
+            left = BinaryOp("and", left, self._not_expr())
+        return left
+
+    def _not_expr(self) -> Expression:
+        if self._accept_keyword("not"):
+            return UnaryOp("not", self._not_expr())
+        return self._predicate()
+
+    def _predicate(self) -> Expression:
+        left = self._additive()
+        negated = self._accept_keyword("not")
+        if self._accept_keyword("like"):
+            pattern = self._expect(TokenType.STRING).text
+            return Like(left, pattern, negated)
+        if self._accept_keyword("in"):
+            self._expect(TokenType.LPAREN)
+            items = self._expression_list()
+            self._expect(TokenType.RPAREN)
+            return InList(left, items, negated)
+        if self._accept_keyword("between"):
+            low = self._additive()
+            self._expect_keyword("and")
+            high = self._additive()
+            return Between(left, low, high, negated)
+        if negated:
+            raise SqlParseError(
+                "NOT must be followed by LIKE, IN or BETWEEN here",
+                self._current.position,
+            )
+        if self._accept_keyword("is"):
+            is_negated = self._accept_keyword("not")
+            self._expect_keyword("null")
+            return IsNull(left, is_negated)
+        if self._check(TokenType.OPERATOR) and self._current.text in (
+            "=",
+            "<>",
+            "!=",
+            "<",
+            "<=",
+            ">",
+            ">=",
+        ):
+            op = self._advance().text
+            right = self._additive()
+            return BinaryOp(op, left, right)
+        return left
+
+    def _additive(self) -> Expression:
+        left = self._multiplicative()
+        while self._check(TokenType.OPERATOR) and self._current.text in (
+            "+",
+            "-",
+            "||",
+        ):
+            op = self._advance().text
+            left = BinaryOp(op, left, self._multiplicative())
+        return left
+
+    def _multiplicative(self) -> Expression:
+        left = self._unary()
+        while True:
+            if self._check(TokenType.STAR):
+                self._advance()
+                left = BinaryOp("*", left, self._unary())
+            elif self._check(TokenType.OPERATOR) and self._current.text in (
+                "/",
+                "%",
+            ):
+                op = self._advance().text
+                left = BinaryOp(op, left, self._unary())
+            else:
+                return left
+
+    def _unary(self) -> Expression:
+        if self._check(TokenType.OPERATOR) and self._current.text == "-":
+            self._advance()
+            return UnaryOp("-", self._unary())
+        if self._check(TokenType.OPERATOR) and self._current.text == "+":
+            self._advance()
+            return self._unary()
+        return self._primary()
+
+    def _primary(self) -> Expression:
+        token = self._current
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            if "." in token.text or "e" in token.text or "E" in token.text:
+                return Literal(float(token.text))
+            return Literal(int(token.text))
+        if token.type is TokenType.STRING:
+            self._advance()
+            return Literal(token.text)
+        if token.is_keyword("null"):
+            self._advance()
+            return Literal(None)
+        if token.is_keyword("true"):
+            self._advance()
+            return Literal(True)
+        if token.is_keyword("false"):
+            self._advance()
+            return Literal(False)
+        if token.is_keyword("case"):
+            return self._case()
+        if token.type is TokenType.LPAREN:
+            self._advance()
+            expression = self._expression()
+            self._expect(TokenType.RPAREN)
+            return expression
+        if token.type is TokenType.IDENT:
+            self._advance()
+            if self._accept(TokenType.LPAREN):
+                return self._call(token.text)
+            return Column(token.text)
+        raise SqlParseError(
+            f"unexpected token {token.text!r}", token.position
+        )
+
+    def _case(self) -> Expression:
+        self._expect_keyword("case")
+        branches: List[Tuple[Expression, Expression]] = []
+        while self._accept_keyword("when"):
+            condition = self._expression()
+            self._expect_keyword("then")
+            result = self._expression()
+            branches.append((condition, result))
+        if not branches:
+            raise SqlParseError(
+                "CASE needs at least one WHEN branch", self._current.position
+            )
+        otherwise = None
+        if self._accept_keyword("else"):
+            otherwise = self._expression()
+        self._expect_keyword("end")
+        return CaseWhen(branches, otherwise)
+
+    def _call(self, name: str) -> Expression:
+        lowered = name.lower()
+        distinct = False
+        if lowered in AGGREGATE_NAMES and self._accept_keyword("distinct"):
+            distinct = True
+        args: List[Expression] = []
+        if self._check(TokenType.STAR):
+            self._advance()
+            args.append(Star())
+        elif not self._check(TokenType.RPAREN):
+            args = self._expression_list()
+        self._expect(TokenType.RPAREN)
+        if lowered in AGGREGATE_NAMES:
+            if len(args) != 1:
+                raise SqlParseError(
+                    f"{name.upper()} takes exactly one argument",
+                    self._current.position,
+                )
+            return Aggregate(lowered, args[0], distinct)
+        return FunctionCall(lowered, args)

@@ -1,0 +1,134 @@
+"""The storlet programming interface.
+
+Mirrors the Java ``IStorlet`` interface shown in the paper (Section V-A):
+a storlet implements ``invoke(in_streams, out_streams, parameters,
+logger)`` and transforms the request's data stream.  Streams are
+chunk-iterators so storlets can process objects far larger than memory.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Optional
+
+
+class StorletException(Exception):
+    """Raised by storlets on unrecoverable invocation errors."""
+
+
+class StorletLogger:
+    """Per-invocation log sink (real Storlets write to an object)."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.lines: List[str] = []
+
+    def emit(self, message: str) -> None:
+        self.lines.append(message)
+
+    # Compatibility alias matching the Java SDK's logger.
+    emitLog = emit
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.lines)
+
+
+class StorletInputStream:
+    """A readable chunk stream with object metadata attached."""
+
+    def __init__(
+        self,
+        chunks: Iterable[bytes],
+        metadata: Optional[Dict[str, str]] = None,
+    ):
+        self._iterator = iter(chunks)
+        self.metadata = dict(metadata or {})
+        self._buffer = b""
+        self._exhausted = False
+
+    def iter_chunks(self) -> Iterator[bytes]:
+        """Yield remaining data chunk by chunk."""
+        if self._buffer:
+            pending, self._buffer = self._buffer, b""
+            yield pending
+        for chunk in self._iterator:
+            if chunk:
+                yield chunk
+        self._exhausted = True
+
+    def read(self, size: int = -1) -> bytes:
+        """Read up to ``size`` bytes (all remaining when negative)."""
+        if size < 0:
+            return b"".join(self.iter_chunks())
+        while len(self._buffer) < size and not self._exhausted:
+            try:
+                self._buffer += next(self._iterator)
+            except StopIteration:
+                self._exhausted = True
+        data, self._buffer = self._buffer[:size], self._buffer[size:]
+        return data
+
+
+class StorletOutputStream:
+    """A writable stream; also carries response metadata the storlet may
+    set (real Storlets send metadata out-of-band before the data)."""
+
+    def __init__(self, metadata: Optional[Dict[str, str]] = None):
+        self.metadata: Dict[str, str] = dict(metadata or {})
+        self._chunks: List[bytes] = []
+        self._closed = False
+
+    def write(self, data: bytes) -> None:
+        if self._closed:
+            raise StorletException("write after close")
+        if not isinstance(data, bytes):
+            raise StorletException(
+                f"storlet output must be bytes, got {type(data).__name__}"
+            )
+        if data:
+            self._chunks.append(data)
+
+    def set_metadata(self, metadata: Dict[str, str]) -> None:
+        self.metadata.update(metadata)
+
+    def close(self) -> None:
+        self._closed = True
+
+    def chunks(self) -> List[bytes]:
+        return list(self._chunks)
+
+    def getvalue(self) -> bytes:
+        return b"".join(self._chunks)
+
+    @property
+    def bytes_written(self) -> int:
+        return sum(len(chunk) for chunk in self._chunks)
+
+
+class IStorlet:
+    """Base class for storlets.
+
+    Subclasses override :meth:`invoke`; ``parameters`` arrive as a flat
+    string map decoded from the request's ``X-Storlet-Parameter-*``
+    headers.
+    """
+
+    #: Stable name used for deployment/invocation headers.
+    name = "storlet"
+
+    def invoke(
+        self,
+        in_streams: List[StorletInputStream],
+        out_streams: List[StorletOutputStream],
+        parameters: Dict[str, str],
+        logger: StorletLogger,
+    ) -> None:
+        raise NotImplementedError
+
+    def describe(self) -> Dict[str, Any]:
+        """Deployment metadata stored alongside the storlet object."""
+        return {
+            "name": self.name,
+            "language": "python",
+            "interface": "IStorlet",
+            "class": type(self).__name__,
+        }

@@ -1,0 +1,327 @@
+"""Storlet deployment, policies and request interception.
+
+The engine plays the role of the Storlets framework that the paper
+extended: it keeps the registry of deployed storlets, owns one sandbox
+per machine, and provides the WSGI middleware that intercepts object
+requests on either tier.  The middleware implements the paper's three
+extensions -- pipelining, staging (proxy vs object node) and byte-range
+execution with record lookahead.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.storlets.api import (
+    IStorlet,
+    StorletException,
+    StorletInputStream,
+    StorletOutputStream,
+)
+from repro.storlets.sandbox import CostModel, Sandbox
+from repro.swift.http import Request, Response, parse_path
+from repro.swift.middleware import App
+
+
+class StorletRequestHeaders:
+    """Header names of the storlet invocation protocol."""
+
+    RUN = "x-run-storlet"
+    RUN_ON = "x-storlet-run-on"
+    PARAMETER_PREFIX = "x-storlet-parameter-"
+    RANGE = "x-storlet-range"
+    INVOKED = "x-storlet-invoked"
+    BYPASS = "x-storlet-bypass"
+
+    @staticmethod
+    def parameters_from(headers) -> Dict[str, str]:
+        prefix = StorletRequestHeaders.PARAMETER_PREFIX
+        return {
+            key[len(prefix) :]: value
+            for key, value in headers.items()
+            if key.startswith(prefix)
+        }
+
+    @staticmethod
+    def set_parameters(headers, parameters: Dict[str, str]) -> None:
+        for key, value in parameters.items():
+            headers[StorletRequestHeaders.PARAMETER_PREFIX + key] = value
+
+
+@dataclass
+class StorletPolicy:
+    """Automatic enforcement of a storlet on a container's requests.
+
+    Scoop "offers simple means for deploying and enforcing pushdown
+    filters on a particular tenant or container via policies" (Section
+    V-A).  A policy triggers the storlet on every matching request even
+    when the client did not ask for it (the ETL-on-upload use case).
+    """
+
+    storlet: str
+    method: str = "PUT"
+    parameters: Dict[str, str] = field(default_factory=dict)
+    enabled: bool = True
+
+
+class StorletEngine:
+    """Registry + sandboxes + policies."""
+
+    STORLET_CONTAINER = "storlet"
+
+    def __init__(
+        self,
+        cost_model: Optional[CostModel] = None,
+        max_output_bytes: Optional[int] = None,
+        max_cpu_seconds: Optional[float] = None,
+    ):
+        self._registry: Dict[str, IStorlet] = {}
+        self._sandboxes: Dict[str, Sandbox] = {}
+        self._policies: Dict[Tuple[str, str], List[StorletPolicy]] = {}
+        self._cost_model = cost_model or CostModel()
+        self._max_output_bytes = max_output_bytes
+        self._max_cpu_seconds = max_cpu_seconds
+
+    # -- deployment ----------------------------------------------------------
+
+    def deploy(self, storlet: IStorlet, client=None) -> None:
+        """Register a storlet; if a Swift client is given, also store its
+        descriptor as a regular object (the Storlets deployment model)."""
+        self._registry[storlet.name] = storlet
+        if client is not None:
+            client.put_container(self.STORLET_CONTAINER)
+            client.put_object(
+                self.STORLET_CONTAINER,
+                storlet.name,
+                json.dumps(storlet.describe()).encode("utf-8"),
+                content_type="application/json",
+            )
+
+    def undeploy(self, name: str) -> None:
+        self._registry.pop(name, None)
+
+    def get(self, name: str) -> IStorlet:
+        storlet = self._registry.get(name)
+        if storlet is None:
+            raise StorletException(f"storlet not deployed: {name!r}")
+        return storlet
+
+    def deployed(self) -> List[str]:
+        return sorted(self._registry)
+
+    # -- sandboxes ------------------------------------------------------------
+
+    def sandbox_for(self, node: str) -> Sandbox:
+        sandbox = self._sandboxes.get(node)
+        if sandbox is None:
+            sandbox = Sandbox(
+                node,
+                self._cost_model,
+                max_output_bytes=self._max_output_bytes,
+                max_cpu_seconds=self._max_cpu_seconds,
+            )
+            self._sandboxes[node] = sandbox
+        return sandbox
+
+    def all_sandboxes(self) -> Dict[str, Sandbox]:
+        return dict(self._sandboxes)
+
+    def total_bytes(self) -> Tuple[int, int]:
+        bytes_in = sum(s.stats.bytes_in for s in self._sandboxes.values())
+        bytes_out = sum(s.stats.bytes_out for s in self._sandboxes.values())
+        return bytes_in, bytes_out
+
+    # -- policies ----------------------------------------------------------------
+
+    def set_policy(
+        self, account: str, container: str, policy: StorletPolicy
+    ) -> None:
+        self._policies.setdefault((account, container), []).append(policy)
+
+    def clear_policies(self, account: str, container: str) -> None:
+        self._policies.pop((account, container), None)
+
+    def policies_for(
+        self, account: str, container: str, method: str
+    ) -> List[StorletPolicy]:
+        return [
+            policy
+            for policy in self._policies.get((account, container), [])
+            if policy.enabled and policy.method == method
+        ]
+
+    # -- middleware factories --------------------------------------------------------
+
+    def proxy_middleware(self):
+        def factory(app: App) -> App:
+            return StorletMiddleware(app, self, tier="proxy")
+
+        return factory
+
+    def object_middleware(self):
+        def factory(app: App) -> App:
+            return StorletMiddleware(app, self, tier="object")
+
+        return factory
+
+
+class StorletMiddleware:
+    """Intercepts requests and runs the storlet pipeline on data streams.
+
+    Staging: a GET pipeline runs on the tier named by ``X-Storlet-Run-On``
+    (default ``object`` -- the paper's preferred stage, avoiding full-
+    object transfers to proxies).  PUT pipelines always run at the proxy,
+    *before* replication fan-out, so ETL transformations are applied once.
+    """
+
+    #: Bytes fetched beyond the requested range so the storlet can finish
+    #: the record straddling the range end.
+    RANGE_LOOKAHEAD = 64 * 1024
+
+    def __init__(self, app: App, engine: StorletEngine, tier: str):
+        if tier not in ("proxy", "object"):
+            raise ValueError(f"tier must be proxy|object: {tier!r}")
+        self.app = app
+        self.engine = engine
+        self.tier = tier
+
+    def __call__(self, request: Request) -> Response:
+        if request.headers.get(StorletRequestHeaders.BYPASS):
+            return self.app(request)
+        names, run_on, parameters = self._invocation_for(request)
+        if not names:
+            return self.app(request)
+
+        if request.method == "PUT":
+            if self.tier != "proxy":
+                return self.app(request)
+            return self._run_put(request, names, parameters)
+
+        if request.method == "GET":
+            if run_on != self.tier:
+                return self.app(request)
+            return self._run_get(request, names, parameters)
+
+        return self.app(request)
+
+    # -- invocation resolution ---------------------------------------------------
+
+    def _invocation_for(
+        self, request: Request
+    ) -> Tuple[List[str], str, Dict[str, str]]:
+        header = request.headers.get(StorletRequestHeaders.RUN, "")
+        names = [name.strip() for name in header.split(",") if name.strip()]
+        parameters = StorletRequestHeaders.parameters_from(request.headers)
+        run_on = request.headers.get(StorletRequestHeaders.RUN_ON, "object")
+
+        # Container policies add their storlets (PUT-path ETL enforcement).
+        try:
+            account, container, obj = parse_path(request.path)
+        except Exception:
+            return names, run_on, parameters
+        if obj is not None and container != StorletEngine.STORLET_CONTAINER:
+            for policy in self.engine.policies_for(
+                account, container, request.method
+            ):
+                if policy.storlet not in names:
+                    names.append(policy.storlet)
+                for key, value in policy.parameters.items():
+                    parameters.setdefault(key, value)
+        return names, run_on, parameters
+
+    # -- PUT path ----------------------------------------------------------------
+
+    def _run_put(
+        self, request: Request, names: List[str], parameters: Dict[str, str]
+    ) -> Response:
+        node = request.environ.get("swift.proxy", "proxy")
+        data = request.body_bytes()
+        stream_chunks: Sequence[bytes] = [data] if data else []
+        for name in names:
+            storlet = self.engine.get(name)
+            sandbox = self.engine.sandbox_for(node)
+            output = sandbox.run(
+                storlet,
+                StorletInputStream(stream_chunks),
+                parameters,
+                tier=self.tier,
+            )
+            stream_chunks = output.chunks()
+            # Metadata the storlet emits (e.g. cleansing statistics)
+            # persists as user metadata on the stored object.
+            for key, value in output.metadata.items():
+                if key.startswith("x-object-meta-"):
+                    request.headers[key] = value
+        request.body = b"".join(stream_chunks)
+        response = self.app(request)
+        response.headers[StorletRequestHeaders.INVOKED] = ",".join(names)
+        return response
+
+    # -- GET path -----------------------------------------------------------------
+
+    def _run_get(
+        self, request: Request, names: List[str], parameters: Dict[str, str]
+    ) -> Response:
+        parameters = dict(parameters)
+        storlet_range = request.headers.get(StorletRequestHeaders.RANGE)
+        if storlet_range is not None:
+            start, end = _parse_byte_range(storlet_range)
+            # Extend the physical read so the record straddling ``end``
+            # can be completed; tell the storlet its logical range.
+            request = request.copy()
+            request.headers["range"] = (
+                f"bytes={start}-{end + self.RANGE_LOOKAHEAD}"
+            )
+            parameters["range_start"] = str(start)
+            parameters["range_len"] = str(end - start + 1)
+
+        response = self.app(request)
+        if not response.ok:
+            return response
+
+        node = (
+            request.environ.get("swift.node", "object")
+            if self.tier == "object"
+            else request.environ.get("swift.proxy", "proxy")
+        )
+        metadata = {
+            key: value
+            for key, value in response.headers.items()
+            if key.startswith("x-object-meta-")
+        }
+        chunks = response.iter_body()
+        output: Optional[StorletOutputStream] = None
+        for name in names:
+            storlet = self.engine.get(name)
+            sandbox = self.engine.sandbox_for(node)
+            output = sandbox.run(
+                storlet,
+                StorletInputStream(chunks, metadata),
+                parameters,
+                tier=self.tier,
+            )
+            chunks = iter(output.chunks())
+
+        assert output is not None
+        headers = response.headers.copy()
+        headers.pop("content-length", None)
+        headers.pop("content-range", None)
+        headers[StorletRequestHeaders.INVOKED] = ",".join(names)
+        for key, value in output.metadata.items():
+            headers[key] = value
+        return Response(200, headers, output.chunks())
+
+
+def _parse_byte_range(text: str) -> Tuple[int, int]:
+    """Parse ``bytes=a-b`` (both bounds required for storlet ranges)."""
+    cleaned = text.strip()
+    if not cleaned.startswith("bytes="):
+        raise StorletException(f"malformed storlet range: {text!r}")
+    start_text, _sep, end_text = cleaned[len("bytes=") :].partition("-")
+    if not start_text or not end_text:
+        raise StorletException(
+            f"storlet range needs both bounds: {text!r}"
+        )
+    return int(start_text), int(end_text)

@@ -1,0 +1,205 @@
+"""Sandboxed storlet execution with resource accounting.
+
+Real Storlets isolate storlet code in Docker containers; the paper
+attributes the 4-6% resident memory and the ~23.5% average CPU on
+storage nodes under pushdown to "the Docker container used to run
+Storlets plus the code execution" (Section VI-D).  Our sandbox executes
+the storlet in-process but *accounts* the same quantities so the
+resource-usage experiments (Fig. 9/10) can charge them to nodes:
+
+* bytes in / bytes out / rows in / rows out per invocation,
+* estimated CPU seconds from a per-byte cost model that mirrors the
+  paper's observed row/column asymmetry (discarding whole rows is
+  cheaper than re-concatenating selected columns).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.storlets.api import (
+    IStorlet,
+    StorletException,
+    StorletInputStream,
+    StorletLogger,
+    StorletOutputStream,
+)
+
+
+@dataclass
+class CostModel:
+    """Per-byte CPU cost coefficients (core-seconds per byte).
+
+    Calibrated so that a single core streams roughly 100 MB/s through a
+    selection-only filter, with extra cost when columns must be selected
+    and re-concatenated -- matching the paper's observation that "row
+    selectivity exhibits higher performance compared to column/mixed
+    selectivity" (Section VI-A).
+    """
+
+    scan_cost: float = 1.0 / 100e6
+    row_filter_cost: float = 0.2 / 100e6
+    column_project_cost: float = 0.8 / 100e6
+    output_cost: float = 0.5 / 100e6
+
+    def invocation_cost(
+        self,
+        bytes_in: int,
+        bytes_out: int,
+        filtered_rows: bool,
+        projected_columns: bool,
+    ) -> float:
+        cost = bytes_in * self.scan_cost
+        if filtered_rows:
+            cost += bytes_in * self.row_filter_cost
+        if projected_columns:
+            cost += bytes_in * self.column_project_cost
+        cost += bytes_out * self.output_cost
+        return cost
+
+
+@dataclass
+class InvocationRecord:
+    storlet: str
+    node: str
+    tier: str
+    bytes_in: int
+    bytes_out: int
+    cpu_seconds: float
+    wall_seconds: float
+    parameters: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class SandboxStats:
+    """Aggregated accounting for one node's sandbox."""
+
+    invocations: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+    cpu_seconds: float = 0.0
+    memory_bytes: int = 0
+    errors: int = 0
+
+    def discard_ratio(self) -> float:
+        if self.bytes_in == 0:
+            return 0.0
+        return 1.0 - self.bytes_out / self.bytes_in
+
+
+class Sandbox:
+    """Executes storlet invocations for one node, with accounting.
+
+    ``memory_overhead`` models the resident Docker container footprint
+    (paper: 4-6% of a 256 GB node, we default to a plain byte count the
+    perf model scales).
+    """
+
+    def __init__(
+        self,
+        node: str = "node",
+        cost_model: Optional[CostModel] = None,
+        memory_overhead: int = 512 * 2**20,
+        max_output_bytes: Optional[int] = None,
+        max_cpu_seconds: Optional[float] = None,
+    ):
+        self.node = node
+        self.cost_model = cost_model or CostModel()
+        self.memory_overhead = memory_overhead
+        # Optional per-invocation resource limits (a real sandbox caps
+        # runaway filters; ours enforces after the fact and errors).
+        self.max_output_bytes = max_output_bytes
+        self.max_cpu_seconds = max_cpu_seconds
+        self.stats = SandboxStats()
+        self.records: List[InvocationRecord] = []
+        self._warm = False
+
+    def run(
+        self,
+        storlet: IStorlet,
+        in_stream: StorletInputStream,
+        parameters: Dict[str, str],
+        tier: str = "object",
+    ) -> StorletOutputStream:
+        """Invoke ``storlet``; returns its output stream.
+
+        The first invocation "warms" the sandbox (container start),
+        charging the memory overhead permanently -- matching the
+        near-constant 4-6% memory the paper measured on storage nodes.
+        """
+        if not self._warm:
+            self._warm = True
+            self.stats.memory_bytes += self.memory_overhead
+
+        logger = StorletLogger(storlet.name)
+        out_stream = StorletOutputStream()
+        counting_in = _CountingInput(in_stream)
+        started = time.perf_counter()
+        try:
+            storlet.invoke([counting_in], [out_stream], dict(parameters), logger)
+        except StorletException:
+            self.stats.errors += 1
+            raise
+        except Exception as error:
+            self.stats.errors += 1
+            raise StorletException(
+                f"{storlet.name} failed: {error}"
+            ) from error
+        wall = time.perf_counter() - started
+
+        bytes_in = counting_in.bytes_read
+        bytes_out = out_stream.bytes_written
+        if (
+            self.max_output_bytes is not None
+            and bytes_out > self.max_output_bytes
+        ):
+            self.stats.errors += 1
+            raise StorletException(
+                f"{storlet.name} exceeded the sandbox output limit: "
+                f"{bytes_out} > {self.max_output_bytes} bytes"
+            )
+        cpu = self.cost_model.invocation_cost(
+            bytes_in,
+            bytes_out,
+            filtered_rows="filters" in parameters,
+            projected_columns="columns" in parameters,
+        )
+        if self.max_cpu_seconds is not None and cpu > self.max_cpu_seconds:
+            self.stats.errors += 1
+            raise StorletException(
+                f"{storlet.name} exceeded the sandbox CPU budget: "
+                f"{cpu:.4f} > {self.max_cpu_seconds} core-seconds"
+            )
+        self.stats.invocations += 1
+        self.stats.bytes_in += bytes_in
+        self.stats.bytes_out += bytes_out
+        self.stats.cpu_seconds += cpu
+        self.records.append(
+            InvocationRecord(
+                storlet=storlet.name,
+                node=self.node,
+                tier=tier,
+                bytes_in=bytes_in,
+                bytes_out=bytes_out,
+                cpu_seconds=cpu,
+                wall_seconds=wall,
+                parameters=dict(parameters),
+            )
+        )
+        return out_stream
+
+
+class _CountingInput(StorletInputStream):
+    """Wraps an input stream, counting the bytes the storlet consumed."""
+
+    def __init__(self, inner: StorletInputStream):
+        self.bytes_read = 0
+
+        def counted():
+            for chunk in inner.iter_chunks():
+                self.bytes_read += len(chunk)
+                yield chunk
+
+        super().__init__(counted(), inner.metadata)

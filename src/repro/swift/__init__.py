@@ -1,0 +1,48 @@
+"""A functional OpenStack-Swift-like object store.
+
+This package reimplements the parts of OpenStack Swift that Scoop's data
+path depends on (paper Section III-B):
+
+* a flat ``/account/container/object`` namespace over a RESTish API
+  (:mod:`repro.swift.client`),
+* a consistent-hashing **ring** with partition power, replicas and zone
+  dispersion (:mod:`repro.swift.ring`),
+* a two-tier architecture of **proxy servers** (auth, routing,
+  replication fan-out) and **object servers** (storage, byte-range GET)
+  (:mod:`repro.swift.proxy`, :mod:`repro.swift.backend`),
+* **WSGI-style middleware pipelines** on both tiers, the hook the
+  Storlets engine uses to intercept requests
+  (:mod:`repro.swift.middleware`).
+
+The store is fully functional -- real bytes in, real bytes out -- so the
+CSV pushdown filter of Scoop can be exercised end to end at laptop scale.
+"""
+
+from repro.swift.client import SwiftClient
+from repro.swift.exceptions import (
+    AuthError,
+    ContainerNotEmpty,
+    NotFound,
+    RangeNotSatisfiable,
+    SwiftError,
+)
+from repro.swift.http import HeaderDict, Request, Response
+from repro.swift.proxy import ProxyServer, SwiftCluster
+from repro.swift.ring import Device, Ring, RingBuilder
+
+__all__ = [
+    "AuthError",
+    "ContainerNotEmpty",
+    "Device",
+    "HeaderDict",
+    "NotFound",
+    "ProxyServer",
+    "RangeNotSatisfiable",
+    "Request",
+    "Response",
+    "Ring",
+    "RingBuilder",
+    "SwiftClient",
+    "SwiftCluster",
+    "SwiftError",
+]

@@ -1,0 +1,168 @@
+"""Client facade for the Swift-like store (python-swiftclient style)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.swift.exceptions import SwiftError
+from repro.swift.http import HeaderDict, Request, Response
+from repro.swift.proxy import SwiftCluster
+
+
+class SwiftClient:
+    """Convenience wrapper issuing requests for one account.
+
+    All methods raise :class:`SwiftError` subclasses on non-2xx statuses
+    unless noted, mirroring python-swiftclient's ClientException
+    behaviour.
+    """
+
+    def __init__(self, cluster: SwiftCluster, account: str = "AUTH_test"):
+        self.cluster = cluster
+        self.account = account
+        self.put_account()
+
+    # -- raw access --------------------------------------------------------
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        headers: Optional[Dict[str, str]] = None,
+        body: Union[bytes, Iterable[bytes], None] = None,
+        params: Optional[Dict[str, str]] = None,
+    ) -> Response:
+        merged = HeaderDict(headers or {})
+        merged.setdefault("x-auth-token", f"token-{self.account}")
+        request = Request(method, path, merged, body, params)
+        return self.cluster.handle_request(request)
+
+    def _checked(self, response: Response, allowed=(200, 201, 202, 204, 206)):
+        if response.status not in allowed:
+            error = SwiftError(
+                f"{response.status} {response.reason}: "
+                f"{response.read()[:200]!r}"
+            )
+            error.status = response.status
+            raise error
+        return response
+
+    def _path(self, container: str = "", obj: str = "") -> str:
+        path = f"/{self.account}"
+        if container:
+            path += f"/{container}"
+        if obj:
+            path += f"/{obj}"
+        return path
+
+    # -- account -------------------------------------------------------------
+
+    def put_account(self) -> None:
+        self._checked(self.request("PUT", self._path()))
+
+    def list_containers(self) -> List[str]:
+        response = self._checked(self.request("GET", self._path()))
+        text = response.read().decode("utf-8")
+        return text.split("\n") if text else []
+
+    # -- containers -------------------------------------------------------------
+
+    def put_container(
+        self, container: str, headers: Optional[Dict[str, str]] = None
+    ) -> None:
+        self._checked(self.request("PUT", self._path(container), headers))
+
+    def delete_container(self, container: str) -> None:
+        self._checked(self.request("DELETE", self._path(container)))
+
+    def list_objects(
+        self,
+        container: str,
+        prefix: str = "",
+        marker: str = "",
+        limit: int = 10000,
+    ) -> List[str]:
+        response = self._checked(
+            self.request(
+                "GET",
+                self._path(container),
+                params={
+                    "prefix": prefix,
+                    "marker": marker,
+                    "limit": str(limit),
+                },
+            )
+        )
+        text = response.read().decode("utf-8")
+        return text.split("\n") if text else []
+
+    def head_container(self, container: str) -> HeaderDict:
+        response = self._checked(self.request("HEAD", self._path(container)))
+        return response.headers
+
+    # -- objects ---------------------------------------------------------------
+
+    def put_object(
+        self,
+        container: str,
+        obj: str,
+        data: Union[bytes, str, Iterable[bytes]],
+        headers: Optional[Dict[str, str]] = None,
+        content_type: str = "application/octet-stream",
+    ) -> str:
+        """Store an object; returns its etag."""
+        merged = HeaderDict(headers or {})
+        merged.setdefault("content-type", content_type)
+        if isinstance(data, str):
+            data = data.encode("utf-8")
+        response = self._checked(
+            self.request("PUT", self._path(container, obj), merged, data)
+        )
+        return response.headers.get("etag", "")
+
+    def get_object(
+        self,
+        container: str,
+        obj: str,
+        headers: Optional[Dict[str, str]] = None,
+        byte_range: Optional[Tuple[int, int]] = None,
+    ) -> Tuple[HeaderDict, bytes]:
+        """Fetch an object (optionally a byte range); returns headers+body."""
+        merged = HeaderDict(headers or {})
+        if byte_range is not None:
+            start, end = byte_range
+            merged["range"] = f"bytes={start}-{end}"
+        response = self._checked(
+            self.request("GET", self._path(container, obj), merged)
+        )
+        return response.headers, response.read()
+
+    def get_object_stream(
+        self,
+        container: str,
+        obj: str,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Response:
+        """Fetch an object without materializing its body."""
+        return self._checked(
+            self.request("GET", self._path(container, obj), headers)
+        )
+
+    def head_object(self, container: str, obj: str) -> HeaderDict:
+        response = self._checked(
+            self.request("HEAD", self._path(container, obj))
+        )
+        return response.headers
+
+    def delete_object(self, container: str, obj: str) -> None:
+        self._checked(self.request("DELETE", self._path(container, obj)))
+
+    def post_object(
+        self, container: str, obj: str, metadata: Dict[str, str]
+    ) -> None:
+        headers = {
+            f"x-object-meta-{key}": value for key, value in metadata.items()
+        }
+        self._checked(
+            self.request("POST", self._path(container, obj), headers)
+        )

@@ -1,0 +1,74 @@
+"""Error types for the Swift-like object store."""
+
+from __future__ import annotations
+
+
+class SwiftError(Exception):
+    """Base class for object-store errors; carries an HTTP status code."""
+
+    status = 500
+
+    def __init__(self, message: str = ""):
+        super().__init__(message or self.__class__.__name__)
+
+
+class NotFound(SwiftError):
+    """Account, container or object does not exist (404)."""
+
+    status = 404
+
+
+class AuthError(SwiftError):
+    """Missing or invalid auth token (401)."""
+
+    status = 401
+
+
+class Forbidden(SwiftError):
+    """Authenticated but not allowed (403)."""
+
+    status = 403
+
+
+class BadRequest(SwiftError):
+    """Malformed path, headers or range (400)."""
+
+    status = 400
+
+
+class Conflict(SwiftError):
+    """Operation conflicts with current state (409)."""
+
+    status = 409
+
+
+class ContainerNotEmpty(Conflict):
+    """DELETE on a container that still holds objects (409)."""
+
+
+class RangeNotSatisfiable(SwiftError):
+    """Byte range outside the object (416)."""
+
+    status = 416
+
+
+class ServiceUnavailable(SwiftError):
+    """No replica could serve the request (503)."""
+
+    status = 503
+
+
+STATUS_REASONS = {
+    200: "OK",
+    201: "Created",
+    204: "No Content",
+    206: "Partial Content",
+    400: "Bad Request",
+    401: "Unauthorized",
+    403: "Forbidden",
+    404: "Not Found",
+    409: "Conflict",
+    416: "Requested Range Not Satisfiable",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}

@@ -1,0 +1,223 @@
+"""Minimal HTTP request/response model (the WSGI-ish substrate).
+
+Swift's proxy and object servers are WSGI applications; middlewares
+"wrap" storage requests and responses (paper Section V-A).  We model the
+same shape: a :class:`Request` flows down a middleware pipeline, the
+innermost app returns a :class:`Response`, and middlewares may rewrite
+either -- including wrapping the response body iterator, which is exactly
+how pushdown filters transform an object's data stream without the store
+noticing.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+from repro.swift.exceptions import BadRequest, STATUS_REASONS
+
+Body = Union[bytes, Iterable[bytes], None]
+
+DEFAULT_CHUNK_SIZE = 64 * 1024
+
+
+class HeaderDict(dict):
+    """A case-insensitive string-valued header mapping."""
+
+    def __init__(self, items: Optional[Dict[str, Any]] = None, **kwargs: Any):
+        super().__init__()
+        if items:
+            for key, value in items.items():
+                self[key] = value
+        for key, value in kwargs.items():
+            self[key.replace("_", "-")] = value
+
+    @staticmethod
+    def _norm(key: str) -> str:
+        return key.lower()
+
+    def __setitem__(self, key: str, value: Any) -> None:
+        super().__setitem__(self._norm(key), str(value))
+
+    def __getitem__(self, key: str) -> str:
+        return super().__getitem__(self._norm(key))
+
+    def __delitem__(self, key: str) -> None:
+        super().__delitem__(self._norm(key))
+
+    def __contains__(self, key: object) -> bool:
+        return super().__contains__(self._norm(str(key)))
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return super().get(self._norm(key), default)
+
+    def pop(self, key: str, *default: Any) -> Any:
+        return super().pop(self._norm(key), *default)
+
+    def setdefault(self, key: str, default: Any = None) -> Any:
+        return super().setdefault(self._norm(key), str(default))
+
+    def update(self, other=None, **kwargs) -> None:  # type: ignore[override]
+        if other:
+            items = other.items() if hasattr(other, "items") else other
+            for key, value in items:
+                self[key] = value
+        for key, value in kwargs.items():
+            self[key] = value
+
+    def copy(self) -> "HeaderDict":
+        fresh = HeaderDict()
+        fresh.update(self)
+        return fresh
+
+
+def parse_path(path: str) -> Tuple[str, Optional[str], Optional[str]]:
+    """Split ``/account[/container[/object]]`` into its components.
+
+    Object names may themselves contain ``/`` (pseudo-directories).
+    """
+    if not path.startswith("/"):
+        raise BadRequest(f"path must start with '/': {path!r}")
+    parts = path[1:].split("/", 2)
+    if not parts[0]:
+        raise BadRequest(f"empty account in path: {path!r}")
+    account = parts[0]
+    container = parts[1] if len(parts) > 1 and parts[1] else None
+    obj = parts[2] if len(parts) > 2 and parts[2] else None
+    if obj is not None and container is None:
+        raise BadRequest(f"object without container: {path!r}")
+    return account, container, obj
+
+
+_RANGE_RE = re.compile(r"^bytes=(\d*)-(\d*)$")
+
+
+def parse_range(header: str, size: int) -> Tuple[int, int]:
+    """Resolve a ``bytes=start-end`` header to inclusive offsets.
+
+    Supports ``bytes=a-b``, ``bytes=a-`` and suffix ranges ``bytes=-n``.
+    Raises :class:`BadRequest` for malformed headers; callers map
+    out-of-bounds ranges to 416.
+    """
+    match = _RANGE_RE.match(header.strip())
+    if not match:
+        raise BadRequest(f"malformed Range header: {header!r}")
+    start_text, end_text = match.groups()
+    if not start_text and not end_text:
+        raise BadRequest(f"empty Range header: {header!r}")
+    if not start_text:
+        # Suffix range: last n bytes.
+        length = int(end_text)
+        if length == 0:
+            return size, size - 1  # deliberately unsatisfiable
+        return max(0, size - length), size - 1
+    start = int(start_text)
+    end = int(end_text) if end_text else size - 1
+    end = min(end, size - 1)
+    return start, end
+
+
+class Request:
+    """An object-store request travelling down a middleware pipeline."""
+
+    def __init__(
+        self,
+        method: str,
+        path: str,
+        headers: Optional[Dict[str, Any]] = None,
+        body: Body = None,
+        params: Optional[Dict[str, str]] = None,
+        environ: Optional[Dict[str, Any]] = None,
+    ):
+        self.method = method.upper()
+        self.path = path
+        self.headers = HeaderDict(headers or {})
+        self.body = body
+        self.params = dict(params or {})
+        # Out-of-band context shared along the pipeline (like WSGI environ):
+        # the storlet middleware uses it to learn which node it runs on.
+        self.environ: Dict[str, Any] = dict(environ or {})
+
+    @property
+    def split_path(self) -> Tuple[str, Optional[str], Optional[str]]:
+        return parse_path(self.path)
+
+    def body_bytes(self) -> bytes:
+        """Materialize the request body (consumes an iterator body)."""
+        data = collect_body(self.body)
+        self.body = data
+        return data
+
+    def copy(self) -> "Request":
+        return Request(
+            self.method,
+            self.path,
+            self.headers.copy(),
+            self.body,
+            dict(self.params),
+            dict(self.environ),
+        )
+
+    def __repr__(self) -> str:
+        return f"<Request {self.method} {self.path}>"
+
+
+class Response:
+    """An object-store response; the body may be bytes or a byte-chunk
+    iterator (which is how filtered object streams are represented)."""
+
+    def __init__(
+        self,
+        status: int = 200,
+        headers: Optional[Dict[str, Any]] = None,
+        body: Body = b"",
+    ):
+        self.status = status
+        self.headers = HeaderDict(headers or {})
+        self.body = body
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    @property
+    def reason(self) -> str:
+        return STATUS_REASONS.get(self.status, "Unknown")
+
+    def read(self) -> bytes:
+        """Materialize the body, caching it for repeated reads."""
+        data = collect_body(self.body)
+        self.body = data
+        return data
+
+    def iter_body(self, chunk_size: int = DEFAULT_CHUNK_SIZE) -> Iterator[bytes]:
+        """Stream the body as chunks without materializing it twice."""
+        body = self.body
+        if body is None:
+            return
+        if isinstance(body, bytes):
+            for offset in range(0, len(body), chunk_size):
+                yield body[offset : offset + chunk_size]
+            return
+        for chunk in body:
+            if chunk:
+                yield chunk
+
+    def __repr__(self) -> str:
+        return f"<Response {self.status} {self.reason}>"
+
+
+def collect_body(body: Body) -> bytes:
+    if body is None:
+        return b""
+    if isinstance(body, bytes):
+        return body
+    if isinstance(body, str):
+        return body.encode("utf-8")
+    return b"".join(body)
+
+
+def chunk_bytes(data: bytes, chunk_size: int = DEFAULT_CHUNK_SIZE) -> Iterator[bytes]:
+    """Yield ``data`` in fixed-size chunks (streaming helper)."""
+    for offset in range(0, len(data), chunk_size):
+        yield data[offset : offset + chunk_size]

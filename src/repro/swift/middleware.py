@@ -1,0 +1,77 @@
+"""WSGI-style middleware pipeline for proxy and object servers.
+
+Both Swift tiers "include a WSGI pipeline that enables developers to
+configure middlewares that intercept object requests" (paper Section
+III-B).  A middleware here is any callable factory ``factory(app) ->
+app`` where an *app* is ``callable(Request) -> Response``.  The Storlets
+engine installs its interception middleware on both tiers through this
+mechanism, without the store knowing anything about pushdown filters.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+from repro.swift.exceptions import SwiftError
+from repro.swift.http import Request, Response
+
+App = Callable[[Request], Response]
+MiddlewareFactory = Callable[[App], App]
+
+
+class BaseMiddleware:
+    """Convenience base: subclass and override :meth:`handle`."""
+
+    def __init__(self, app: App):
+        self.app = app
+
+    def __call__(self, request: Request) -> Response:
+        return self.handle(request)
+
+    def handle(self, request: Request) -> Response:
+        return self.app(request)
+
+
+def build_pipeline(app: App, factories: Sequence[MiddlewareFactory]) -> App:
+    """Wrap ``app`` with ``factories`` so the *first* factory listed is the
+    *outermost* middleware (matching Swift's pipeline = ``mw1 mw2 app``)."""
+    wrapped = app
+    for factory in reversed(list(factories)):
+        wrapped = factory(wrapped)
+    return wrapped
+
+
+class CatchErrors(BaseMiddleware):
+    """Outermost guard translating errors to responses.
+
+    :class:`SwiftError` keeps its status; anything else (e.g. a crashing
+    storlet) becomes a 500, as in real Swift.
+    """
+
+    def handle(self, request: Request) -> Response:
+        try:
+            return self.app(request)
+        except SwiftError as error:
+            return Response(error.status, body=str(error).encode("utf-8"))
+        except Exception as error:  # noqa: BLE001 - boundary translation
+            return Response(500, body=str(error).encode("utf-8"))
+
+
+class RequestLogger(BaseMiddleware):
+    """Records ``(method, path, status)`` tuples; useful in tests."""
+
+    def __init__(self, app: App, log: List[tuple] | None = None):
+        super().__init__(app)
+        self.log: List[tuple] = log if log is not None else []
+
+    def handle(self, request: Request) -> Response:
+        response = self.app(request)
+        self.log.append((request.method, request.path, response.status))
+        return response
+
+    @classmethod
+    def factory(cls, log: List[tuple]) -> MiddlewareFactory:
+        def make(app: App) -> App:
+            return cls(app, log)
+
+        return make

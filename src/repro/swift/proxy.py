@@ -1,0 +1,372 @@
+"""Proxy tier and cluster wiring for the Swift-like store.
+
+Proxy servers "are in charge of authentication, authorization and access
+control enforcement of storage requests.  Upon reception of a valid
+request, a proxy server routes it to the corresponding object servers"
+(paper Section III-B).  :class:`SwiftCluster` assembles the whole store:
+the object ring over the storage machines' devices, per-machine object
+servers each with their own middleware pipeline, the container/account
+stores, and a set of proxies behind a round-robin "load balancer".
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.swift.backend import (
+    AccountStore,
+    ContainerStore,
+    ObjectServer,
+)
+from repro.swift.exceptions import (
+    AuthError,
+    BadRequest,
+    NotFound,
+    ServiceUnavailable,
+)
+from repro.swift.http import HeaderDict, Request, Response, parse_path
+from repro.swift.middleware import App, CatchErrors, MiddlewareFactory, build_pipeline
+from repro.swift.ring import Device, Ring, RingBuilder
+
+
+class AuthMiddleware:
+    """Trivial token auth: tokens are ``token-<account>``."""
+
+    def __init__(self, app: App, enabled: bool = True):
+        self.app = app
+        self.enabled = enabled
+
+    def __call__(self, request: Request) -> Response:
+        if self.enabled:
+            account, _container, _obj = parse_path(request.path)
+            token = request.headers.get("x-auth-token")
+            if token != f"token-{account}":
+                raise AuthError(f"bad token for account {account!r}")
+        return self.app(request)
+
+
+class ProxyApp:
+    """The innermost proxy application: routing and replication."""
+
+    def __init__(self, cluster: "SwiftCluster"):
+        self.cluster = cluster
+
+    def __call__(self, request: Request) -> Response:
+        account, container, obj = parse_path(request.path)
+        if obj is not None:
+            return self._object_request(request, account, container, obj)
+        if container is not None:
+            return self._container_request(request, account, container)
+        return self._account_request(request, account)
+
+    # -- object path -------------------------------------------------------
+
+    def _object_request(
+        self, request: Request, account: str, container: str, obj: str
+    ) -> Response:
+        cluster = self.cluster
+        if not cluster.containers.exists(account, container):
+            raise NotFound(f"container not found: /{account}/{container}")
+        part, devices = cluster.object_ring.get_nodes(account, container, obj)
+        request.environ["swift.partition"] = part
+
+        if request.method == "PUT":
+            data = request.body_bytes()
+            # One timestamp for all replicas, assigned at the proxy (as
+            # in real Swift); otherwise replicas would differ and the
+            # replicator would see phantom staleness.
+            from repro.swift.backend import next_timestamp
+
+            request.headers.setdefault(
+                "x-timestamp", f"{next_timestamp():.9f}"
+            )
+            response: Optional[Response] = None
+            for device in devices:
+                replica_request = request.copy()
+                replica_request.body = data
+                response = cluster.send_to_device(device, replica_request)
+                if not response.ok:
+                    return response
+            assert response is not None
+            cluster.containers.add_object(
+                account,
+                container,
+                obj,
+                size=len(data),
+                etag=response.headers.get("etag", ""),
+                content_type=request.headers.get(
+                    "content-type", "application/octet-stream"
+                ),
+            )
+            return response
+
+        if request.method in ("GET", "HEAD"):
+            last_error: Optional[Response] = None
+            for device in self._replica_order(request, devices):
+                try:
+                    response = cluster.send_to_device(device, request.copy())
+                except NotFound:
+                    continue
+                if response.ok or response.status in (206, 416):
+                    return response
+                last_error = response
+            if last_error is not None:
+                return last_error
+            raise NotFound(f"object not found: {request.path}")
+
+        if request.method == "DELETE":
+            found = False
+            for device in devices:
+                try:
+                    response = cluster.send_to_device(device, request.copy())
+                    found = found or response.ok
+                except NotFound:
+                    continue
+            if not found:
+                raise NotFound(f"object not found: {request.path}")
+            cluster.containers.remove_object(account, container, obj)
+            return Response(204)
+
+        if request.method == "POST":
+            responses = []
+            for device in devices:
+                try:
+                    responses.append(
+                        cluster.send_to_device(device, request.copy())
+                    )
+                except NotFound:
+                    continue
+            if not responses:
+                raise NotFound(f"object not found: {request.path}")
+            return responses[0]
+
+        raise BadRequest(f"unsupported object method: {request.method}")
+
+    def _replica_order(
+        self, request: Request, devices: Sequence[Device]
+    ) -> List[Device]:
+        """Primary replica first unless the request pins a replica index."""
+        pinned = request.headers.get("x-backend-replica-index")
+        ordered = list(devices)
+        if pinned is not None:
+            index = int(pinned) % len(ordered)
+            ordered = ordered[index:] + ordered[:index]
+        return ordered
+
+    # -- container path ------------------------------------------------------
+
+    def _container_request(
+        self, request: Request, account: str, container: str
+    ) -> Response:
+        cluster = self.cluster
+        if request.method == "PUT":
+            cluster.accounts.ensure(account)
+            created = cluster.containers.create(
+                account, container, request.headers
+            )
+            return Response(201 if created else 202)
+        if request.method == "GET":
+            records = cluster.containers.list_objects(
+                account,
+                container,
+                prefix=request.params.get("prefix", ""),
+                marker=request.params.get("marker", ""),
+                limit=int(request.params.get("limit", 10000)),
+            )
+            listing = "\n".join(record.name for record in records)
+            return Response(
+                200,
+                headers={"x-container-object-count": str(len(records))},
+                body=listing.encode("utf-8"),
+            )
+        if request.method == "HEAD":
+            record = cluster.containers.get(account, container)
+            headers = HeaderDict(
+                {"x-container-object-count": str(len(record.objects))}
+            )
+            headers.update(record.metadata)
+            return Response(204, headers)
+        if request.method == "POST":
+            record = cluster.containers.get(account, container)
+            for header, value in request.headers.items():
+                if header.startswith("x-container-meta-"):
+                    record.metadata[header] = value
+            return Response(204)
+        if request.method == "DELETE":
+            cluster.containers.delete(account, container)
+            return Response(204)
+        raise BadRequest(f"unsupported container method: {request.method}")
+
+    # -- account path -----------------------------------------------------------
+
+    def _account_request(self, request: Request, account: str) -> Response:
+        cluster = self.cluster
+        if request.method == "PUT":
+            cluster.accounts.ensure(account)
+            return Response(201)
+        if request.method == "GET":
+            if not cluster.accounts.exists(account):
+                raise NotFound(f"account not found: /{account}")
+            listing = "\n".join(cluster.containers.containers_for(account))
+            return Response(200, body=listing.encode("utf-8"))
+        if request.method == "HEAD":
+            cluster.accounts.metadata(account)
+            return Response(204)
+        raise BadRequest(f"unsupported account method: {request.method}")
+
+
+class ProxyServer:
+    """One proxy machine: pipeline of [CatchErrors, auth, extras..., app]."""
+
+    def __init__(
+        self,
+        name: str,
+        app: App,
+        middleware_factories: Sequence[MiddlewareFactory] = (),
+        auth_enabled: bool = True,
+    ):
+        self.name = name
+        factories: List[MiddlewareFactory] = [CatchErrors]
+        factories.append(lambda inner: AuthMiddleware(inner, auth_enabled))
+        factories.extend(middleware_factories)
+        self.pipeline = build_pipeline(app, factories)
+
+    def handle(self, request: Request) -> Response:
+        request.environ["swift.proxy"] = self.name
+        request.environ.setdefault("swift.execution_tier", "proxy")
+        return self.pipeline(request)
+
+
+class SwiftCluster:
+    """The assembled object store.
+
+    Parameters mirror the paper's testbed defaults at miniature scale:
+    ``storage_node_count`` machines with ``disks_per_node`` ring devices
+    each, 3-replica object ring, ``proxy_count`` proxies behind a
+    round-robin dispatcher.
+    """
+
+    def __init__(
+        self,
+        storage_node_count: int = 4,
+        disks_per_node: int = 2,
+        proxy_count: int = 2,
+        replica_count: int = 3,
+        part_power: int = 8,
+        auth_enabled: bool = False,
+        proxy_middleware: Sequence[MiddlewareFactory] = (),
+        object_middleware: Sequence[MiddlewareFactory] = (),
+    ):
+        if storage_node_count < 1:
+            raise ValueError("need at least one storage node")
+        replica_count = min(replica_count, storage_node_count * disks_per_node)
+
+        builder = RingBuilder(part_power=part_power, replica_count=replica_count)
+        self.object_servers: Dict[str, ObjectServer] = {}
+        for node_index in range(storage_node_count):
+            node_name = f"storage{node_index}"
+            device_ids = []
+            for disk in range(disks_per_node):
+                device = builder.add_device(
+                    zone=node_index % max(1, storage_node_count // 2 or 1),
+                    weight=1.0,
+                    node=node_name,
+                    disk=disk,
+                )
+                device_ids.append(device.id)
+            self.object_servers[node_name] = ObjectServer(node_name, device_ids)
+        builder.rebalance()
+        self.ring_builder = builder
+        self.object_ring: Ring = builder.get_ring()
+
+        self.containers = ContainerStore()
+        self.accounts = AccountStore()
+        self._object_middleware = list(object_middleware)
+        self._object_pipelines: Dict[str, App] = {
+            name: build_pipeline(server, self._object_middleware)
+            for name, server in self.object_servers.items()
+        }
+
+        app = ProxyApp(self)
+        self.proxies: List[ProxyServer] = [
+            ProxyServer(
+                f"proxy{i}",
+                app,
+                middleware_factories=proxy_middleware,
+                auth_enabled=auth_enabled,
+            )
+            for i in range(max(1, proxy_count))
+        ]
+        self._proxy_cycle = itertools.cycle(range(len(self.proxies)))
+
+    # -- request entry points ------------------------------------------------
+
+    def handle_request(self, request: Request) -> Response:
+        """Entry through the load balancer: round-robin over proxies."""
+        proxy = self.proxies[next(self._proxy_cycle)]
+        return proxy.handle(request)
+
+    def send_to_device(self, device: Device, request: Request) -> Response:
+        """Route a replica request into the owning node's object pipeline."""
+        pipeline = self._object_pipelines.get(device.node)
+        if pipeline is None:
+            raise ServiceUnavailable(f"no object server for node {device.node!r}")
+        request.environ["swift.device"] = device.id
+        request.environ["swift.node"] = device.node
+        request.environ["swift.execution_tier"] = "object"
+        return pipeline(request)
+
+    # -- administration ----------------------------------------------------------
+
+    def refresh_ring(self) -> None:
+        """Adopt the ring builder's current assignment (after add/remove
+        device + rebalance); run the replicator afterwards to move data."""
+        self.object_ring = self.ring_builder.get_ring()
+
+    def add_storage_node(
+        self, disks: int = 2, zone: Optional[int] = None
+    ) -> str:
+        """Provision a new object server with ``disks`` ring devices.
+
+        The caller must rebalance + :meth:`refresh_ring` + replicate to
+        actually move partitions onto it.
+        """
+        node_name = f"storage{len(self.object_servers)}"
+        if zone is None:
+            zone = len(self.object_servers)
+        device_ids = []
+        for disk in range(disks):
+            device = self.ring_builder.add_device(
+                zone=zone, weight=1.0, node=node_name, disk=disk
+            )
+            device_ids.append(device.id)
+        server = ObjectServer(node_name, device_ids)
+        self.object_servers[node_name] = server
+        self._object_pipelines[node_name] = build_pipeline(
+            server, self._object_middleware
+        )
+        return node_name
+
+    def fail_device(self, device_id: int) -> None:
+        """Simulate a disk loss: wipe the store and drop it from the
+        builder (rebalance + refresh + replicate to recover)."""
+        for server in self.object_servers.values():
+            if device_id in server.devices:
+                server.devices[device_id].clear()
+        self.ring_builder.remove_device(device_id)
+
+    def install_object_middleware(self, factory: MiddlewareFactory) -> None:
+        """Add a middleware to every object server's pipeline (innermost
+        position closest to the disk)."""
+        self._object_middleware.append(factory)
+        self._object_pipelines = {
+            name: build_pipeline(server, self._object_middleware)
+            for name, server in self.object_servers.items()
+        }
+
+    def total_object_count(self) -> int:
+        return sum(server.object_count() for server in self.object_servers.values())
+
+    def total_bytes_used(self) -> int:
+        return sum(server.bytes_used() for server in self.object_servers.values())

@@ -1,0 +1,119 @@
+"""Tests for the command-line interface."""
+
+import pathlib
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(["generate", "/tmp/x"])
+        assert args.meters == 100
+        assert args.out_dir == pathlib.Path("/tmp/x")
+
+
+class TestGenerate:
+    def test_writes_csv_files(self, tmp_path, capsys):
+        code = main(
+            [
+                "generate",
+                str(tmp_path / "data"),
+                "--meters",
+                "5",
+                "--intervals",
+                "8",
+                "--objects",
+                "2",
+            ]
+        )
+        assert code == 0
+        files = sorted((tmp_path / "data").glob("*.csv"))
+        assert len(files) == 2
+        total_rows = sum(
+            file.read_bytes().count(b"\n") for file in files
+        )
+        assert total_rows == 40
+
+    def test_header_flag(self, tmp_path):
+        main(
+            [
+                "generate",
+                str(tmp_path / "data"),
+                "--meters",
+                "2",
+                "--intervals",
+                "2",
+                "--objects",
+                "1",
+                "--header",
+            ]
+        )
+        first_line = (
+            (tmp_path / "data" / "meter-0000.csv")
+            .read_bytes()
+            .split(b"\n")[0]
+        )
+        assert first_line.startswith(b"vid,date,index")
+
+    def test_deterministic_given_seed(self, tmp_path):
+        for directory in ("a", "b"):
+            main(
+                [
+                    "generate",
+                    str(tmp_path / directory),
+                    "--meters",
+                    "3",
+                    "--intervals",
+                    "3",
+                    "--objects",
+                    "1",
+                    "--seed",
+                    "42",
+                ]
+            )
+        assert (tmp_path / "a" / "meter-0000.csv").read_bytes() == (
+            tmp_path / "b" / "meter-0000.csv"
+        ).read_bytes()
+
+
+class TestQueries:
+    def test_lists_all_seven(self, capsys):
+        assert main(["queries"]) == 0
+        out = capsys.readouterr().out
+        for name in (
+            "ShowMapCons",
+            "ShowPiemonth",
+            "Showday",
+            "ShowGraphHCHP",
+        ):
+            assert name in out
+
+
+class TestExperiment:
+    def test_fig1_prints_table(self, capsys):
+        assert main(["experiment", "fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 1" in out
+        assert "GB" in out
+
+    def test_adaptive_prints_table(self, capsys):
+        assert main(["experiment", "adaptive"]) == 0
+        assert "adaptive" in capsys.readouterr().out.lower()
+
+
+class TestDemo:
+    def test_demo_runs_end_to_end(self, capsys):
+        assert main(["demo", "--meters", "10", "--intervals", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "data selectivity" in out
+        assert "pushdown moved" in out

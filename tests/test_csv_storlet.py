@@ -1,0 +1,264 @@
+"""Tests for the CSV pushdown storlet: projection, selection, byte
+ranges and the critical range-coverage invariant."""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sql import (
+    EqualTo,
+    GreaterThan,
+    Schema,
+    StringStartsWith,
+    filters_to_json,
+)
+from repro.storlets import (
+    CsvStorlet,
+    StorletException,
+    StorletInputStream,
+    StorletLogger,
+    StorletOutputStream,
+)
+from repro.storlets.csv_storlet import _owned_lines
+
+SCHEMA = Schema.of("vid", "date", "index:float", "city")
+
+
+def invoke(data: bytes, parameters: dict, chunk_size: int = 37) -> bytes:
+    """Run the storlet over data split into awkward chunk sizes."""
+    chunks = [
+        data[offset : offset + chunk_size]
+        for offset in range(0, len(data), chunk_size)
+    ]
+    out = StorletOutputStream()
+    CsvStorlet().invoke(
+        [StorletInputStream(chunks)],
+        [out],
+        {"schema": SCHEMA.to_header(), **parameters},
+        StorletLogger("test"),
+    )
+    return out.getvalue()
+
+
+SAMPLE = (
+    b"m1,2015-01-01,10.5,Rotterdam\n"
+    b"m2,2015-01-02,3.25,Paris\n"
+    b"m3,2015-02-01,99.0,Rotterdam\n"
+    b"m4,2015-02-02,1.0,Berlin\n"
+)
+
+
+class TestProjectionSelection:
+    def test_no_parameters_passthrough(self):
+        assert invoke(SAMPLE, {}) == SAMPLE
+
+    def test_projection_keeps_schema_order(self):
+        result = invoke(SAMPLE, {"columns": json.dumps(["city", "vid"])})
+        assert result.splitlines()[0] == b"m1,Rotterdam"
+
+    def test_selection_equal(self):
+        filters = filters_to_json([EqualTo("city", "Rotterdam")])
+        result = invoke(SAMPLE, {"filters": filters})
+        assert result.count(b"\n") == 2
+        assert b"Paris" not in result
+
+    def test_selection_numeric(self):
+        filters = filters_to_json([GreaterThan("index", 5.0)])
+        result = invoke(SAMPLE, {"filters": filters})
+        assert result.splitlines() == [
+            b"m1,2015-01-01,10.5,Rotterdam",
+            b"m3,2015-02-01,99.0,Rotterdam",
+        ]
+
+    def test_selection_and_projection_combined(self):
+        result = invoke(
+            SAMPLE,
+            {
+                "columns": json.dumps(["vid", "index"]),
+                "filters": filters_to_json(
+                    [StringStartsWith("date", "2015-01")]
+                ),
+            },
+        )
+        assert result.splitlines() == [b"m1,10.5", b"m2,3.25"]
+
+    def test_rows_metadata_reported(self):
+        out = StorletOutputStream()
+        CsvStorlet().invoke(
+            [StorletInputStream([SAMPLE])],
+            [out],
+            {
+                "schema": SCHEMA.to_header(),
+                "filters": filters_to_json([EqualTo("city", "Paris")]),
+            },
+            StorletLogger("test"),
+        )
+        assert out.metadata["x-object-meta-storlet-rows-in"] == "4"
+        assert out.metadata["x-object-meta-storlet-rows-out"] == "1"
+
+    def test_missing_schema_raises(self):
+        with pytest.raises(StorletException):
+            out = StorletOutputStream()
+            CsvStorlet().invoke(
+                [StorletInputStream([SAMPLE])],
+                [out],
+                {},
+                StorletLogger("test"),
+            )
+
+    def test_malformed_rows_dropped(self):
+        data = SAMPLE + b"broken,row\n" + b"m9,2015-03-01,2.0,Lyon\n"
+        result = invoke(data, {"columns": json.dumps(["vid"])})
+        assert b"broken" not in result
+        assert b"m9" in result
+
+    def test_untypable_rows_dropped_when_filtering(self):
+        data = b"m1,2015-01-01,notanumber,Rotterdam\n" + SAMPLE
+        filters = filters_to_json([GreaterThan("index", 0.0)])
+        result = invoke(data, {"filters": filters})
+        assert result.count(b"\n") == 4
+
+    def test_quoted_fields_parsed(self):
+        data = b'm1,2015-01-01,1.0,"Rotter,dam"\n'
+        filters = filters_to_json([EqualTo("city", "Rotter,dam")])
+        result = invoke(data, {"filters": filters})
+        assert result.count(b"\n") == 1
+        # Output re-quotes the field containing the delimiter.
+        assert b'"Rotter,dam"' in result
+
+    def test_final_line_without_newline_processed(self):
+        data = SAMPLE + b"m5,2015-03-01,7.0,Nice"  # no trailing newline
+        result = invoke(data, {"columns": json.dumps(["vid"])})
+        assert b"m5" in result
+
+
+class TestHeaderHandling:
+    HEADERED = b"vid,date,index,city\n" + SAMPLE
+
+    def test_header_skipped_on_first_range(self):
+        result = invoke(self.HEADERED, {"has_header": "true"})
+        assert result == SAMPLE
+
+    def test_header_emitted_when_requested(self):
+        result = invoke(
+            self.HEADERED,
+            {
+                "has_header": "true",
+                "emit_header": "true",
+                "columns": json.dumps(["vid", "city"]),
+            },
+        )
+        lines = result.splitlines()
+        assert lines[0] == b"vid,city"
+        assert lines[1] == b"m1,Rotterdam"
+
+    def test_header_not_skipped_on_later_ranges(self):
+        # range_start > 0: first (partial) line skipped as usual, no
+        # header logic applies.
+        result = invoke(
+            SAMPLE,
+            {
+                "has_header": "true",
+                "range_start": "5",
+                "range_len": str(len(SAMPLE) - 5),
+            },
+        )
+        assert not result.startswith(b"m1")
+
+
+class TestRangeSemantics:
+    def test_range_skips_partial_first_record(self):
+        # Start mid-record: that record belongs to the previous range.
+        result = invoke(
+            SAMPLE, {"range_start": "3", "range_len": str(len(SAMPLE) - 3)}
+        )
+        assert result.splitlines()[0].startswith(b"m2")
+
+    def test_range_zero_keeps_first_record(self):
+        result = invoke(SAMPLE, {"range_start": "0", "range_len": "5"})
+        # Range covers only part of record 1, which starts at offset 0.
+        assert result.splitlines() == [b"m1,2015-01-01,10.5,Rotterdam"]
+
+    def test_record_straddling_range_end_completed(self):
+        first_len = len(b"m1,2015-01-01,10.5,Rotterdam\n")
+        # Range ends inside record 2: record 2 starts inside the range,
+        # so it is owned and must be completed via lookahead bytes.
+        result = invoke(
+            SAMPLE, {"range_start": "0", "range_len": str(first_len + 3)}
+        )
+        assert result.splitlines() == [
+            b"m1,2015-01-01,10.5,Rotterdam",
+            b"m2,2015-01-02,3.25,Paris",
+        ]
+
+    def test_empty_range_in_middle_of_record_yields_nothing(self):
+        result = invoke(SAMPLE, {"range_start": "3", "range_len": "2"})
+        assert result == b""
+
+
+class TestCoverageProperty:
+    """The invariant the whole pushdown correctness rests on: splitting
+    an object into arbitrary contiguous ranges and concatenating the
+    storlet outputs reproduces exactly the full-object output."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        rows=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=99),
+                st.sampled_from(["2015-01-01", "2015-02-02", "2016-01-01"]),
+                st.floats(min_value=0, max_value=100, allow_nan=False),
+                st.sampled_from(["Rotterdam", "Paris", "Berlin"]),
+            ),
+            min_size=0,
+            max_size=30,
+        ),
+        cut_points=st.lists(
+            st.integers(min_value=1, max_value=10_000),
+            min_size=0,
+            max_size=6,
+        ),
+        use_filter=st.booleans(),
+        use_columns=st.booleans(),
+    )
+    def test_union_of_ranges_equals_full_scan(
+        self, rows, cut_points, use_filter, use_columns
+    ):
+        data = b"".join(
+            f"m{vid},{date},{index!r},{city}\n".encode()
+            for vid, date, index, city in rows
+        )
+        parameters = {}
+        if use_filter:
+            parameters["filters"] = filters_to_json(
+                [StringStartsWith("date", "2015")]
+            )
+        if use_columns:
+            parameters["columns"] = json.dumps(["vid", "city"])
+
+        full = invoke(data, dict(parameters))
+
+        size = len(data)
+        cuts = sorted({c for c in cut_points if c < size})
+        bounds = [0] + cuts + [size]
+        pieces = []
+        for start, end in zip(bounds, bounds[1:]):
+            piece = invoke(
+                data[start:],  # stream starts at range_start, as served
+                {
+                    **parameters,
+                    "range_start": str(start),
+                    "range_len": str(end - start),
+                },
+            )
+            pieces.append(piece)
+        assert b"".join(pieces) == full
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.binary(max_size=400), start=st.integers(0, 400))
+    def test_owned_lines_never_crashes_on_garbage(self, data, start):
+        stream = StorletInputStream([data] if data else [])
+        lines = list(_owned_lines(stream, start, None))
+        for line in lines:
+            assert b"\n" not in line

@@ -1,0 +1,188 @@
+"""Tests for the object replicator: repair, handoff, audit."""
+
+import pytest
+
+from repro.swift import SwiftClient, SwiftCluster
+from repro.swift.replicator import Replicator
+
+
+@pytest.fixture
+def rig():
+    cluster = SwiftCluster(
+        storage_node_count=4, disks_per_node=2, replica_count=3, part_power=6
+    )
+    client = SwiftClient(cluster, "AUTH_rep")
+    client.put_container("c")
+    for index in range(20):
+        client.put_object("c", f"obj-{index:03d}", f"data-{index}".encode())
+    return cluster, client
+
+
+class TestRepair:
+    def test_healthy_cluster_is_noop(self, rig):
+        cluster, _client = rig
+        report = Replicator(cluster).run_once()
+        assert not report.changed
+        assert report.objects_scanned == 20
+
+    def test_wiped_device_is_repaired(self, rig):
+        cluster, client = rig
+        victim = next(iter(cluster.object_servers.values()))
+        wiped = sum(len(store) for store in victim.devices.values())
+        for store in victim.devices.values():
+            store.clear()
+        assert wiped > 0
+
+        report = Replicator(cluster).run_once()
+        assert report.replicas_created == wiped
+        assert cluster.total_object_count() == 60  # 20 objects x 3 replicas
+        assert Replicator(cluster).audit() == {}
+
+    def test_stale_replica_is_updated(self, rig):
+        cluster, client = rig
+        client.put_object("c", "obj-000", b"v2-newer")
+        # Roll one replica back to an old version by hand.
+        _part, devices = cluster.object_ring.get_nodes(
+            "AUTH_rep", "c", "obj-000"
+        )
+        primary = devices[0]
+        store = cluster.object_servers[primary.node].devices[primary.id]
+        path = "/AUTH_rep/c/obj-000"
+        old = store[path]
+        store[path] = type(old)(
+            data=b"v1-stale",
+            etag="stale",
+            timestamp=old.timestamp - 100,
+            content_type=old.content_type,
+            metadata=old.metadata,
+        )
+        report = Replicator(cluster).run_once()
+        assert report.replicas_updated == 1
+        assert store[path].data == b"v2-newer"
+
+    def test_repair_survives_client_reads(self, rig):
+        cluster, client = rig
+        for server in list(cluster.object_servers.values())[:1]:
+            for store in server.devices.values():
+                store.clear()
+        Replicator(cluster).run_once()
+        for index in range(20):
+            _headers, body = client.get_object("c", f"obj-{index:03d}")
+            assert body == f"data-{index}".encode()
+
+
+class TestHandoff:
+    def test_new_node_receives_partitions(self, rig):
+        cluster, client = rig
+        node_name = cluster.add_storage_node(disks=2)
+        cluster.ring_builder.rebalance()
+        cluster.refresh_ring()
+        reports = Replicator(cluster).run_until_stable()
+        assert reports[-1].changed is False
+        new_server = cluster.object_servers[node_name]
+        assert new_server.object_count() > 0
+        assert Replicator(cluster).audit() == {}
+        # Replica invariant preserved end to end.
+        assert cluster.total_object_count() == 60
+
+    def test_failed_device_recovery(self, rig):
+        cluster, client = rig
+        victim_device = next(iter(cluster.object_ring.devices))
+        cluster.fail_device(victim_device)
+        cluster.ring_builder.rebalance()
+        cluster.refresh_ring()
+        Replicator(cluster).run_until_stable()
+        assert Replicator(cluster).audit() == {}
+        for index in range(20):
+            _headers, body = client.get_object("c", f"obj-{index:03d}")
+            assert body == f"data-{index}".encode()
+
+    def test_unassigned_replicas_removed(self, rig):
+        cluster, _client = rig
+        # Park a copy on a device the ring does not assign for it.
+        _part, devices = cluster.object_ring.get_nodes(
+            "AUTH_rep", "c", "obj-000"
+        )
+        assigned_ids = {d.id for d in devices}
+        stray_device = next(
+            device_id
+            for device_id in cluster.object_ring.devices
+            if device_id not in assigned_ids
+        )
+        source = cluster.object_servers[devices[0].node].devices[devices[0].id]
+        path = "/AUTH_rep/c/obj-000"
+        for server in cluster.object_servers.values():
+            if stray_device in server.devices:
+                server.devices[stray_device][path] = source[path]
+        report = Replicator(cluster).run_once()
+        assert report.replicas_removed == 1
+        assert Replicator(cluster).audit() == {}
+
+
+class TestAudit:
+    def test_audit_reports_underreplication(self, rig):
+        cluster, _client = rig
+        _part, devices = cluster.object_ring.get_nodes(
+            "AUTH_rep", "c", "obj-005"
+        )
+        primary = devices[0]
+        del cluster.object_servers[primary.node].devices[primary.id][
+            "/AUTH_rep/c/obj-005"
+        ]
+        problems = Replicator(cluster).audit()
+        assert problems == {"/AUTH_rep/c/obj-005": (2, 3)}
+
+
+class TestConvergenceProperty:
+    from hypothesis import given, settings, strategies as st
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        wipe_mask=st.lists(st.booleans(), min_size=8, max_size=8),
+        object_count=st.integers(min_value=1, max_value=15),
+    )
+    def test_any_partial_wipe_converges_to_clean_audit(
+        self, wipe_mask, object_count
+    ):
+        """Property: wipe any subset of devices (not all), run the
+        replicator until stable, and the audit must be empty with all
+        data readable."""
+        from repro.swift import SwiftClient, SwiftCluster
+
+        cluster = SwiftCluster(
+            storage_node_count=4,
+            disks_per_node=2,
+            replica_count=3,
+            part_power=5,
+        )
+        client = SwiftClient(cluster, "AUTH_p")
+        client.put_container("c")
+        for index in range(object_count):
+            client.put_object("c", f"o{index}", f"payload-{index}".encode())
+
+        device_ids = sorted(cluster.object_ring.devices)
+        wiped = [
+            device_id
+            for device_id, wipe in zip(device_ids, wipe_mask)
+            if wipe
+        ]
+        for server in cluster.object_servers.values():
+            for device_id in wiped:
+                if device_id in server.devices:
+                    server.devices[device_id].clear()
+
+        # An object whose entire replica set was wiped is gone for good;
+        # record who still has at least one surviving copy.
+        survivors = set()
+        for server in cluster.object_servers.values():
+            for store in server.devices.values():
+                survivors.update(store.keys())
+
+        reports = Replicator(cluster).run_until_stable()
+        assert not reports[-1].changed
+        assert Replicator(cluster).audit() == {}
+        for index in range(object_count):
+            path = f"/AUTH_p/c/o{index}"
+            if path in survivors:
+                _headers, body = client.get_object("c", f"o{index}")
+                assert body == f"payload-{index}".encode()

@@ -1,0 +1,186 @@
+"""Unit tests for Resource, Container and Store."""
+
+import pytest
+
+from repro.simulation import Container, Environment, Resource, SimulationError, Store
+
+
+class TestResource:
+    def test_capacity_must_be_positive(self, env):
+        with pytest.raises(SimulationError):
+            Resource(env, 0)
+
+    def test_serial_execution_under_capacity_one(self, env):
+        resource = Resource(env, capacity=1)
+        spans = []
+
+        def worker(env, resource, tag):
+            with resource.request() as req:
+                yield req
+                start = env.now
+                yield env.timeout(10)
+                spans.append((tag, start, env.now))
+
+        env.process(worker(env, resource, "a"))
+        env.process(worker(env, resource, "b"))
+        env.run()
+        assert spans == [("a", 0, 10), ("b", 10, 20)]
+
+    def test_parallel_execution_under_capacity_two(self, env):
+        resource = Resource(env, capacity=2)
+        ends = []
+
+        def worker(env, resource):
+            with resource.request() as req:
+                yield req
+                yield env.timeout(10)
+                ends.append(env.now)
+
+        for _ in range(4):
+            env.process(worker(env, resource))
+        env.run()
+        assert ends == [10, 10, 20, 20]
+
+    def test_count_tracks_held_slots(self, env):
+        resource = Resource(env, capacity=2)
+        observed = []
+
+        def worker(env, resource, delay):
+            yield env.timeout(delay)
+            with resource.request() as req:
+                yield req
+                observed.append(resource.count)
+                yield env.timeout(5)
+
+        env.process(worker(env, resource, 0))
+        env.process(worker(env, resource, 1))
+        env.run()
+        assert observed == [1, 2]
+        assert resource.count == 0
+
+    def test_cancel_queued_request(self, env):
+        resource = Resource(env, capacity=1)
+        done = []
+
+        def holder(env, resource):
+            with resource.request() as req:
+                yield req
+                yield env.timeout(5)
+
+        def impatient(env, resource):
+            request = resource.request()
+            yield env.timeout(1)
+            request.cancel()
+            done.append(env.now)
+
+        env.process(holder(env, resource))
+        env.process(impatient(env, resource))
+        env.run()
+        assert done == [1]
+        assert not resource.queue
+
+
+class TestContainer:
+    def test_initial_level(self, env):
+        assert Container(env, capacity=10, init=4).level == 4
+
+    def test_invalid_init_raises(self, env):
+        with pytest.raises(SimulationError):
+            Container(env, capacity=10, init=11)
+
+    def test_get_blocks_until_put(self, env):
+        container = Container(env, capacity=10)
+        times = []
+
+        def consumer(env, container):
+            yield container.get(5)
+            times.append(("got", env.now))
+
+        def producer(env, container):
+            yield env.timeout(3)
+            yield container.put(5)
+
+        env.process(consumer(env, container))
+        env.process(producer(env, container))
+        env.run()
+        assert times == [("got", 3)]
+
+    def test_put_blocks_when_full(self, env):
+        container = Container(env, capacity=10, init=8)
+        times = []
+
+        def producer(env, container):
+            yield container.put(5)
+            times.append(("put", env.now))
+
+        def consumer(env, container):
+            yield env.timeout(2)
+            yield container.get(4)
+
+        env.process(producer(env, container))
+        env.process(consumer(env, container))
+        env.run()
+        assert times == [("put", 2)]
+        assert container.level == 9
+
+    def test_nonpositive_amount_raises(self, env):
+        container = Container(env, capacity=10)
+        with pytest.raises(SimulationError):
+            container.put(0)
+        with pytest.raises(SimulationError):
+            container.get(-1)
+
+
+class TestStore:
+    def test_fifo_order(self, env):
+        store = Store(env)
+        received = []
+
+        def producer(env, store):
+            for item in ("a", "b", "c"):
+                yield store.put(item)
+
+        def consumer(env, store):
+            for _ in range(3):
+                item = yield store.get()
+                received.append(item)
+
+        env.process(producer(env, store))
+        env.process(consumer(env, store))
+        env.run()
+        assert received == ["a", "b", "c"]
+
+    def test_get_blocks_on_empty(self, env):
+        store = Store(env)
+        times = []
+
+        def consumer(env, store):
+            item = yield store.get()
+            times.append((item, env.now))
+
+        def producer(env, store):
+            yield env.timeout(7)
+            yield store.put("late")
+
+        env.process(consumer(env, store))
+        env.process(producer(env, store))
+        env.run()
+        assert times == [("late", 7)]
+
+    def test_put_blocks_at_capacity(self, env):
+        store = Store(env, capacity=1)
+        times = []
+
+        def producer(env, store):
+            yield store.put(1)
+            yield store.put(2)
+            times.append(env.now)
+
+        def consumer(env, store):
+            yield env.timeout(4)
+            yield store.get()
+
+        env.process(producer(env, store))
+        env.process(consumer(env, store))
+        env.run()
+        assert times == [4]

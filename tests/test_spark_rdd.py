@@ -1,0 +1,197 @@
+"""Tests for RDDs and the DAG scheduler."""
+
+import pytest
+
+from repro.spark import SparkContext
+from repro.spark.rdd import ShuffleDependency
+
+
+@pytest.fixture
+def sc():
+    return SparkContext("test", num_workers=3)
+
+
+class TestTransformations:
+    def test_map_collect(self, sc):
+        rdd = sc.parallelize(list(range(10)), 4).map(lambda x: x * 2)
+        assert rdd.collect() == [x * 2 for x in range(10)]
+
+    def test_filter(self, sc):
+        rdd = sc.parallelize(list(range(10)), 3).filter(lambda x: x % 2 == 0)
+        assert rdd.collect() == [0, 2, 4, 6, 8]
+
+    def test_flat_map(self, sc):
+        rdd = sc.parallelize(["a b", "c"], 2).flat_map(str.split)
+        assert rdd.collect() == ["a", "b", "c"]
+
+    def test_map_partitions(self, sc):
+        rdd = sc.parallelize(list(range(10)), 5).map_partitions(
+            lambda it: [sum(it)]
+        )
+        assert sum(rdd.collect()) == 45
+        assert rdd.num_partitions() == 5
+
+    def test_union(self, sc):
+        left = sc.parallelize([1, 2], 2)
+        right = sc.parallelize([3, 4], 2)
+        union = left.union(right)
+        assert union.num_partitions() == 4
+        assert union.collect() == [1, 2, 3, 4]
+
+    def test_chained_laziness(self, sc):
+        calls = []
+
+        def spy(x):
+            calls.append(x)
+            return x
+
+        rdd = sc.parallelize([1, 2, 3], 1).map(spy)
+        assert calls == []  # nothing computed yet
+        rdd.collect()
+        assert calls == [1, 2, 3]
+
+    def test_key_by(self, sc):
+        rdd = sc.parallelize(["aa", "b"], 1).key_by(len)
+        assert rdd.collect() == [(2, "aa"), (1, "b")]
+
+
+class TestActions:
+    def test_count(self, sc):
+        assert sc.parallelize(list(range(17)), 4).count() == 17
+
+    def test_reduce(self, sc):
+        assert sc.parallelize(list(range(1, 6)), 3).reduce(
+            lambda a, b: a * b
+        ) == 120
+
+    def test_reduce_empty_raises(self, sc):
+        with pytest.raises(ValueError):
+            sc.parallelize([], 1).reduce(lambda a, b: a + b)
+
+    def test_take_stops_early(self, sc):
+        computed = []
+
+        def spy(x):
+            computed.append(x)
+            return x
+
+        rdd = sc.parallelize(list(range(100)), 10).map(spy)
+        assert rdd.take(5) == [0, 1, 2, 3, 4]
+        # Only the first partition (10 items) should have been computed.
+        assert len(computed) == 10
+
+    def test_first(self, sc):
+        assert sc.parallelize([9, 8], 2).first() == 9
+
+    def test_first_empty_raises(self, sc):
+        with pytest.raises(ValueError):
+            sc.parallelize([], 2).first()
+
+
+class TestCaching:
+    def test_cache_avoids_recompute(self, sc):
+        calls = []
+
+        def spy(x):
+            calls.append(x)
+            return x
+
+        rdd = sc.parallelize([1, 2, 3], 1).map(spy).cache()
+        rdd.collect()
+        rdd.collect()
+        assert calls == [1, 2, 3]  # computed once
+
+    def test_uncached_recomputes(self, sc):
+        calls = []
+
+        def spy(x):
+            calls.append(x)
+            return x
+
+        rdd = sc.parallelize([1, 2], 1).map(spy)
+        rdd.collect()
+        rdd.collect()
+        assert calls == [1, 2, 1, 2]
+
+
+class TestShuffle:
+    def test_reduce_by_key(self, sc):
+        data = [("a", 1), ("b", 2), ("a", 3), ("c", 4), ("b", 5)]
+        rdd = sc.parallelize(data, 3).reduce_by_key(lambda a, b: a + b)
+        assert dict(rdd.collect()) == {"a": 4, "b": 7, "c": 4}
+
+    def test_group_by_key(self, sc):
+        data = [("a", 1), ("a", 2), ("b", 3)]
+        rdd = sc.parallelize(data, 2).group_by_key()
+        grouped = dict(rdd.collect())
+        assert sorted(grouped["a"]) == [1, 2]
+        assert grouped["b"] == [3]
+
+    def test_shuffle_creates_extra_stage(self, sc):
+        data = [("a", 1), ("b", 2)]
+        sc.parallelize(data, 2).reduce_by_key(lambda a, b: a + b).collect()
+        shuffle_stages = [s for s in sc.stage_log if s.shuffle_id is not None]
+        result_stages = [s for s in sc.stage_log if s.shuffle_id is None]
+        assert len(shuffle_stages) == 1
+        assert len(result_stages) == 1
+
+    def test_shuffle_materialized_once(self, sc):
+        data = [("a", 1), ("a", 2)]
+        rdd = sc.parallelize(data, 2).reduce_by_key(lambda a, b: a + b)
+        rdd.collect()
+        rdd.collect()
+        shuffle_stages = [s for s in sc.stage_log if s.shuffle_id is not None]
+        assert len(shuffle_stages) == 1
+
+    def test_shuffle_respects_partition_count(self, sc):
+        data = [(i, i) for i in range(20)]
+        rdd = sc.parallelize(data, 4).reduce_by_key(
+            lambda a, b: a + b, num_partitions=7
+        )
+        assert rdd.num_partitions() == 7
+        assert len(rdd.collect()) == 20
+
+    def test_shuffle_then_map(self, sc):
+        data = [("a", 1), ("a", 2), ("b", 1)]
+        rdd = (
+            sc.parallelize(data, 2)
+            .reduce_by_key(lambda a, b: a + b)
+            .map(lambda kv: (kv[0], kv[1] * 10))
+        )
+        assert dict(rdd.collect()) == {"a": 30, "b": 10}
+
+
+class TestSchedulerMetrics:
+    def test_tasks_round_robin_over_workers(self, sc):
+        sc.parallelize(list(range(9)), 9).collect()
+        counts = sc.tasks_per_worker()
+        assert sum(counts.values()) == 9
+        assert all(count == 3 for count in counts.values())
+
+    def test_task_log_records_rows(self, sc):
+        sc.parallelize(list(range(10)), 2).collect()
+        assert [m.rows for m in sc.task_log] == [5, 5]
+
+    def test_reset_metrics(self, sc):
+        sc.parallelize([1], 1).collect()
+        sc.reset_metrics()
+        assert not sc.task_log
+        assert not sc.stage_log
+
+
+class TestLineage:
+    def test_lineage_renders_ancestry(self, sc):
+        rdd = (
+            sc.parallelize([1, 2], 2)
+            .map(lambda x: x)
+            .filter(lambda x: True)
+        )
+        lines = rdd.lineage()
+        assert "Filtered" in lines[0]
+        assert any("Mapped" in line for line in lines)
+        assert any("ParallelCollection" in line for line in lines)
+
+    def test_shuffle_dependency_marked(self, sc):
+        rdd = sc.parallelize([("a", 1)], 1).reduce_by_key(lambda a, b: a)
+        assert isinstance(rdd.dependencies[0], ShuffleDependency)
+        assert any("shuffle" in line for line in rdd.lineage())

@@ -1,0 +1,202 @@
+"""Tests for the SQL lexer and parser."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sql.errors import SqlParseError
+from repro.sql.expressions import (
+    Aggregate,
+    BinaryOp,
+    Column,
+    FunctionCall,
+    InList,
+    Like,
+    Literal,
+    Star,
+)
+from repro.sql.lexer import TokenType, tokenize
+from repro.sql.parser import parse_expression, parse_query
+
+
+class TestLexer:
+    def test_keywords_lowercased(self):
+        tokens = tokenize("SELECT Vid FROM t")
+        assert tokens[0].text == "select"
+        assert tokens[1].text == "Vid"  # identifiers keep case
+
+    def test_string_literal_with_escaped_quote(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].type is TokenType.STRING
+        assert tokens[0].text == "it's"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(SqlParseError):
+            tokenize("'oops")
+
+    def test_numbers(self):
+        texts = [t.text for t in tokenize("1 2.5 1e3 2.5E-2") if t.text]
+        assert texts == ["1", "2.5", "1e3", "2.5E-2"]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("select -- a comment\n x")
+        assert [t.text for t in tokens if t.text] == ["select", "x"]
+
+    def test_operators(self):
+        texts = [t.text for t in tokenize("<= >= <> != = < >") if t.text]
+        assert texts == ["<=", ">=", "<>", "!=", "=", "<", ">"]
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(SqlParseError):
+            tokenize("select @")
+
+    def test_quoted_identifier(self):
+        tokens = tokenize('"weird name"')
+        assert tokens[0].type is TokenType.IDENT
+        assert tokens[0].text == "weird name"
+
+
+class TestParseQuery:
+    def test_minimal_select(self):
+        query = parse_query("SELECT a FROM t")
+        assert query.table == "t"
+        assert query.items[0].expression == Column("a")
+
+    def test_star(self):
+        query = parse_query("SELECT * FROM t")
+        assert isinstance(query.items[0].expression, Star)
+
+    def test_aliases_with_and_without_as(self):
+        query = parse_query("SELECT a AS x, b y FROM t")
+        assert query.items[0].alias == "x"
+        assert query.items[1].alias == "y"
+
+    def test_where_like(self):
+        query = parse_query("SELECT a FROM t WHERE a LIKE '2015-%'")
+        assert query.where == Like(Column("a"), "2015-%")
+
+    def test_where_not_like(self):
+        query = parse_query("SELECT a FROM t WHERE a NOT LIKE 'x%'")
+        assert query.where == Like(Column("a"), "x%", negated=True)
+
+    def test_in_list(self):
+        query = parse_query("SELECT a FROM t WHERE a IN (1, 2, 3)")
+        assert isinstance(query.where, InList)
+        assert [item.value for item in query.where.items] == [1, 2, 3]
+
+    def test_group_by_expressions(self):
+        query = parse_query(
+            "SELECT SUBSTRING(date, 0, 7), sum(x) FROM t "
+            "GROUP BY SUBSTRING(date, 0, 7)"
+        )
+        assert query.group_by == [
+            FunctionCall("substring", [Column("date"), Literal(0), Literal(7)])
+        ]
+
+    def test_order_by_directions(self):
+        query = parse_query("SELECT a FROM t ORDER BY a DESC, b ASC, c")
+        assert [asc for _e, asc in query.order_by] == [False, True, True]
+
+    def test_limit(self):
+        assert parse_query("SELECT a FROM t LIMIT 7").limit == 7
+
+    def test_distinct(self):
+        assert parse_query("SELECT DISTINCT a FROM t").distinct
+
+    def test_count_star(self):
+        query = parse_query("SELECT count(*) FROM t")
+        aggregate = query.items[0].expression
+        assert isinstance(aggregate, Aggregate)
+        assert isinstance(aggregate.arg, Star)
+
+    def test_operator_precedence(self):
+        query = parse_query("SELECT a FROM t WHERE a = 1 OR b = 2 AND c = 3")
+        assert isinstance(query.where, BinaryOp)
+        assert query.where.op == "or"
+        assert query.where.right.op == "and"
+
+    def test_arithmetic_precedence(self):
+        expression = parse_expression("1 + 2 * 3")
+        assert expression == BinaryOp(
+            "+", Literal(1), BinaryOp("*", Literal(2), Literal(3))
+        )
+
+    def test_parentheses_override(self):
+        expression = parse_expression("(1 + 2) * 3")
+        assert expression.op == "*"
+
+    def test_trailing_garbage_raises(self):
+        with pytest.raises(SqlParseError):
+            parse_query("SELECT a FROM t garbage garbage")
+
+    def test_missing_from_raises(self):
+        with pytest.raises(SqlParseError):
+            parse_query("SELECT a WHERE x = 1")
+
+    def test_aggregate_requires_single_argument(self):
+        with pytest.raises(SqlParseError):
+            parse_query("SELECT sum(a, b) FROM t")
+
+    def test_between(self):
+        query = parse_query("SELECT a FROM t WHERE a BETWEEN 1 AND 5")
+        assert query.where.low == Literal(1)
+        assert query.where.high == Literal(5)
+
+    def test_is_null_and_is_not_null(self):
+        q1 = parse_query("SELECT a FROM t WHERE a IS NULL")
+        q2 = parse_query("SELECT a FROM t WHERE a IS NOT NULL")
+        assert not q1.where.negated
+        assert q2.where.negated
+
+    def test_case_expression(self):
+        query = parse_query(
+            "SELECT CASE WHEN a > 1 THEN 'big' ELSE 'small' END FROM t"
+        )
+        assert "CASE" in query.items[0].expression.to_sql()
+
+    def test_all_gridpocket_queries_parse(self):
+        from repro.gridpocket import GRIDPOCKET_QUERIES
+
+        for gp_query in GRIDPOCKET_QUERIES:
+            parsed = parse_query(gp_query.sql("largeMeter"))
+            assert parsed.table == "largeMeter"
+            assert parsed.where is not None
+            assert parsed.group_by
+
+
+class TestRoundTrip:
+    CASES = [
+        "SELECT a FROM t",
+        "SELECT a, b AS x FROM t WHERE (a = 1)",
+        "SELECT SUM(a) AS total FROM t GROUP BY b ORDER BY b LIMIT 3",
+        "SELECT a FROM t WHERE (a LIKE 'x%')",
+        "SELECT a FROM t WHERE ((a > 1) AND (b < 2))",
+        "SELECT DISTINCT a FROM t",
+        "SELECT FIRST_VALUE(a) FROM t GROUP BY b",
+    ]
+
+    @pytest.mark.parametrize("sql", CASES)
+    def test_to_sql_reparses_identically(self, sql):
+        first = parse_query(sql)
+        second = parse_query(first.to_sql())
+        assert second.to_sql() == first.to_sql()
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        column=st.sampled_from(["a", "b", "city"]),
+        value=st.one_of(
+            st.integers(-1000, 1000),
+            st.text(
+                alphabet=st.characters(
+                    min_codepoint=32, max_codepoint=126
+                ),
+                max_size=12,
+            ),
+        ),
+        op=st.sampled_from(["=", "<", ">", "<=", ">=", "<>"]),
+    )
+    def test_comparison_round_trip(self, column, value, op):
+        literal = Literal(value)
+        sql = f"SELECT {column} FROM t WHERE {column} {op} {literal.to_sql()}"
+        query = parse_query(sql)
+        reparsed = parse_query(query.to_sql())
+        assert reparsed.to_sql() == query.to_sql()

@@ -1,0 +1,175 @@
+"""Tests for storlet streams, logger and sandbox accounting details."""
+
+import pytest
+
+from repro.storlets import (
+    IStorlet,
+    StorletException,
+    StorletInputStream,
+    StorletLogger,
+    StorletOutputStream,
+)
+from repro.storlets.sandbox import CostModel, Sandbox
+
+
+class TestInputStream:
+    def test_read_all(self):
+        stream = StorletInputStream([b"ab", b"cd", b"ef"])
+        assert stream.read() == b"abcdef"
+
+    def test_read_exact_sizes(self):
+        stream = StorletInputStream([b"abc", b"def", b"gh"])
+        assert stream.read(2) == b"ab"
+        assert stream.read(3) == b"cde"
+        assert stream.read(10) == b"fgh"
+        assert stream.read(5) == b""
+
+    def test_read_then_iterate(self):
+        stream = StorletInputStream([b"abc", b"def"])
+        assert stream.read(1) == b"a"
+        assert b"".join(stream.iter_chunks()) == b"bcdef"
+
+    def test_empty_chunks_skipped(self):
+        stream = StorletInputStream([b"", b"x", b"", b"y"])
+        assert list(stream.iter_chunks()) == [b"x", b"y"]
+
+    def test_metadata_carried(self):
+        stream = StorletInputStream([b""], {"x-object-meta-a": "1"})
+        assert stream.metadata == {"x-object-meta-a": "1"}
+
+
+class TestOutputStream:
+    def test_write_collects_chunks(self):
+        out = StorletOutputStream()
+        out.write(b"a")
+        out.write(b"")
+        out.write(b"bc")
+        assert out.chunks() == [b"a", b"bc"]
+        assert out.getvalue() == b"abc"
+        assert out.bytes_written == 3
+
+    def test_write_after_close_raises(self):
+        out = StorletOutputStream()
+        out.close()
+        with pytest.raises(StorletException):
+            out.write(b"late")
+
+    def test_non_bytes_rejected(self):
+        out = StorletOutputStream()
+        with pytest.raises(StorletException):
+            out.write("text")  # type: ignore[arg-type]
+
+    def test_metadata_set(self):
+        out = StorletOutputStream()
+        out.set_metadata({"x-object-meta-k": "v"})
+        assert out.metadata["x-object-meta-k"] == "v"
+
+
+class TestLogger:
+    def test_collects_lines(self):
+        logger = StorletLogger("x")
+        logger.emit("one")
+        logger.emitLog("two")  # Java SDK alias
+        assert list(logger) == ["one", "two"]
+
+
+class _Doubler(IStorlet):
+    name = "doubler"
+
+    def invoke(self, in_streams, out_streams, parameters, logger):
+        data = in_streams[0].read()
+        out_streams[0].write(data * 2)
+
+
+class _Exploder(IStorlet):
+    name = "exploder"
+
+    def invoke(self, in_streams, out_streams, parameters, logger):
+        in_streams[0].read()
+        raise ValueError("kaboom")
+
+
+class TestSandbox:
+    def test_accounting(self):
+        sandbox = Sandbox("n")
+        out = sandbox.run(_Doubler(), StorletInputStream([b"xyz"]), {})
+        assert out.getvalue() == b"xyzxyz"
+        assert sandbox.stats.invocations == 1
+        assert sandbox.stats.bytes_in == 3
+        assert sandbox.stats.bytes_out == 6
+        assert sandbox.stats.cpu_seconds > 0
+
+    def test_records_carry_parameters(self):
+        sandbox = Sandbox("n")
+        sandbox.run(
+            _Doubler(), StorletInputStream([b"x"]), {"filters": "[]"}
+        )
+        record = sandbox.records[0]
+        assert record.storlet == "doubler"
+        assert record.parameters == {"filters": "[]"}
+
+    def test_memory_charged_once(self):
+        sandbox = Sandbox("n", memory_overhead=1000)
+        sandbox.run(_Doubler(), StorletInputStream([b"x"]), {})
+        sandbox.run(_Doubler(), StorletInputStream([b"y"]), {})
+        assert sandbox.stats.memory_bytes == 1000
+
+    def test_crash_wrapped_and_counted(self):
+        sandbox = Sandbox("n")
+        with pytest.raises(StorletException):
+            sandbox.run(_Exploder(), StorletInputStream([b"x"]), {})
+        assert sandbox.stats.errors == 1
+
+    def test_discard_ratio(self):
+        sandbox = Sandbox("n")
+
+        class Halver(IStorlet):
+            name = "halver"
+
+            def invoke(self, ins, outs, parameters, logger):
+                data = ins[0].read()
+                outs[0].write(data[: len(data) // 2])
+
+        sandbox.run(Halver(), StorletInputStream([b"12345678"]), {})
+        assert sandbox.stats.discard_ratio() == pytest.approx(0.5)
+
+    def test_cost_model_asymmetry(self):
+        """Column projection costs more than row filtering (the paper's
+        Section VI-A observation, encoded in the cost model)."""
+        model = CostModel()
+        row_cost = model.invocation_cost(
+            1000, 500, filtered_rows=True, projected_columns=False
+        )
+        column_cost = model.invocation_cost(
+            1000, 500, filtered_rows=False, projected_columns=True
+        )
+        assert column_cost > row_cost
+
+
+class TestSandboxLimits:
+    def test_output_limit_enforced(self):
+        sandbox = Sandbox("n", max_output_bytes=4)
+        with pytest.raises(StorletException) as excinfo:
+            sandbox.run(_Doubler(), StorletInputStream([b"abc"]), {})
+        assert "output limit" in str(excinfo.value)
+        assert sandbox.stats.errors == 1
+
+    def test_output_within_limit_passes(self):
+        sandbox = Sandbox("n", max_output_bytes=6)
+        out = sandbox.run(_Doubler(), StorletInputStream([b"abc"]), {})
+        assert out.getvalue() == b"abcabc"
+
+    def test_cpu_budget_enforced(self):
+        sandbox = Sandbox("n", max_cpu_seconds=1e-12)
+        with pytest.raises(StorletException) as excinfo:
+            sandbox.run(
+                _Doubler(), StorletInputStream([b"x" * 10_000]), {}
+            )
+        assert "CPU budget" in str(excinfo.value)
+
+    def test_engine_passes_limits_to_sandboxes(self):
+        from repro.storlets import StorletEngine
+
+        engine = StorletEngine(max_output_bytes=123)
+        sandbox = engine.sandbox_for("storage0")
+        assert sandbox.max_output_bytes == 123

@@ -1,0 +1,152 @@
+"""Tests for the HTTP substrate: headers, paths, ranges, bodies."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.swift.exceptions import BadRequest
+from repro.swift.http import (
+    HeaderDict,
+    Request,
+    Response,
+    chunk_bytes,
+    collect_body,
+    parse_path,
+    parse_range,
+)
+
+
+class TestHeaderDict:
+    def test_case_insensitive_get(self):
+        headers = HeaderDict({"Content-Type": "text/csv"})
+        assert headers["content-type"] == "text/csv"
+        assert headers["CONTENT-TYPE"] == "text/csv"
+
+    def test_case_insensitive_contains(self):
+        headers = HeaderDict({"X-Auth-Token": "t"})
+        assert "x-auth-token" in headers
+        assert "X-AUTH-TOKEN" in headers
+
+    def test_values_coerced_to_strings(self):
+        headers = HeaderDict()
+        headers["content-length"] = 42
+        assert headers["content-length"] == "42"
+
+    def test_kwargs_constructor_maps_underscores(self):
+        headers = HeaderDict(x_auth_token="t")
+        assert headers["x-auth-token"] == "t"
+
+    def test_update_and_copy_are_independent(self):
+        original = HeaderDict({"a": "1"})
+        clone = original.copy()
+        clone["a"] = "2"
+        assert original["a"] == "1"
+
+    def test_pop_with_default(self):
+        headers = HeaderDict({"a": "1"})
+        assert headers.pop("A") == "1"
+        assert headers.pop("missing", "dflt") == "dflt"
+
+    def test_delete(self):
+        headers = HeaderDict({"A": "1"})
+        del headers["a"]
+        assert "a" not in headers
+
+
+class TestParsePath:
+    def test_full_path(self):
+        assert parse_path("/acct/cont/obj") == ("acct", "cont", "obj")
+
+    def test_object_names_may_contain_slashes(self):
+        assert parse_path("/a/c/dir/sub/o.csv") == ("a", "c", "dir/sub/o.csv")
+
+    def test_container_only(self):
+        assert parse_path("/a/c") == ("a", "c", None)
+
+    def test_account_only(self):
+        assert parse_path("/a") == ("a", None, None)
+
+    def test_missing_leading_slash_raises(self):
+        with pytest.raises(BadRequest):
+            parse_path("a/c/o")
+
+    def test_empty_account_raises(self):
+        with pytest.raises(BadRequest):
+            parse_path("/")
+
+
+class TestParseRange:
+    def test_simple_range(self):
+        assert parse_range("bytes=0-9", 100) == (0, 9)
+
+    def test_open_ended_range(self):
+        assert parse_range("bytes=90-", 100) == (90, 99)
+
+    def test_end_clamped_to_size(self):
+        assert parse_range("bytes=10-5000", 100) == (10, 99)
+
+    def test_suffix_range(self):
+        assert parse_range("bytes=-10", 100) == (90, 99)
+
+    def test_suffix_larger_than_object(self):
+        assert parse_range("bytes=-500", 100) == (0, 99)
+
+    def test_malformed_raises(self):
+        for bad in ("bytes=", "0-9", "bytes=a-b", "bytes=5"):
+            with pytest.raises(BadRequest):
+                parse_range(bad, 100)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        start=st.integers(min_value=0, max_value=1000),
+        end=st.integers(min_value=0, max_value=2000),
+        size=st.integers(min_value=1, max_value=1500),
+    )
+    def test_valid_ranges_stay_within_object(self, start, end, size):
+        result_start, result_end = parse_range(f"bytes={start}-{end}", size)
+        assert result_start == start
+        assert result_end <= size - 1
+
+
+class TestBodies:
+    def test_collect_none(self):
+        assert collect_body(None) == b""
+
+    def test_collect_bytes_identity(self):
+        assert collect_body(b"abc") == b"abc"
+
+    def test_collect_iterator(self):
+        assert collect_body(iter([b"a", b"b", b"c"])) == b"abc"
+
+    def test_chunk_bytes_roundtrip(self):
+        data = bytes(range(256)) * 10
+        assert b"".join(chunk_bytes(data, 100)) == data
+
+    def test_chunk_sizes(self):
+        chunks = list(chunk_bytes(b"x" * 250, 100))
+        assert [len(c) for c in chunks] == [100, 100, 50]
+
+    def test_response_read_caches(self):
+        response = Response(200, body=iter([b"a", b"b"]))
+        assert response.read() == b"ab"
+        assert response.read() == b"ab"  # second read must not drain again
+
+    def test_response_iter_body_streams_bytes(self):
+        response = Response(200, body=b"x" * 130)
+        chunks = list(response.iter_body(chunk_size=50))
+        assert [len(c) for c in chunks] == [50, 50, 30]
+
+    def test_request_body_bytes_materializes(self):
+        request = Request("PUT", "/a/c/o", body=iter([b"1", b"2"]))
+        assert request.body_bytes() == b"12"
+        assert request.body == b"12"
+
+    def test_request_copy_isolates_headers(self):
+        request = Request("GET", "/a/c/o", {"x": "1"})
+        clone = request.copy()
+        clone.headers["x"] = "2"
+        assert request.headers["x"] == "1"
+
+    def test_response_ok_and_reason(self):
+        assert Response(204).ok
+        assert not Response(404).ok
+        assert Response(404).reason == "Not Found"

@@ -1,0 +1,128 @@
+"""Tests for the Schema/DataType substrate (used on the wire)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sql.errors import SqlAnalysisError
+from repro.sql.types import DataType, Field, Schema
+
+
+class TestDataType:
+    def test_parse_string(self):
+        assert DataType.STRING.parse("hello") == "hello"
+        assert DataType.STRING.parse("") is None
+
+    def test_parse_int(self):
+        assert DataType.INT.parse("42") == 42
+        with pytest.raises(ValueError):
+            DataType.INT.parse("4.2")
+
+    def test_parse_float(self):
+        assert DataType.FLOAT.parse("2.5") == 2.5
+        assert DataType.FLOAT.parse("1e3") == 1000.0
+
+    def test_parse_bool(self):
+        for text in ("true", "1", "yes", "T"):
+            assert DataType.BOOL.parse(text) is True
+        assert DataType.BOOL.parse("no") is False
+
+    def test_render_none_is_empty(self):
+        for dtype in DataType:
+            assert dtype.render(None) == ""
+
+    def test_render_bool(self):
+        assert DataType.BOOL.render(True) == "true"
+        assert DataType.BOOL.render(False) == "false"
+
+    @settings(max_examples=50, deadline=None)
+    @given(value=st.floats(allow_nan=False, allow_infinity=False))
+    def test_float_render_parse_round_trip(self, value):
+        assert DataType.FLOAT.parse(DataType.FLOAT.render(value)) == value
+
+    @settings(max_examples=50, deadline=None)
+    @given(value=st.integers(min_value=-(10**12), max_value=10**12))
+    def test_int_render_parse_round_trip(self, value):
+        assert DataType.INT.parse(DataType.INT.render(value)) == value
+
+
+class TestSchema:
+    def test_of_shorthand(self):
+        schema = Schema.of("a", "b:int", "c:float", "d:bool")
+        assert schema.names == ["a", "b", "c", "d"]
+        assert schema.field("b").dtype is DataType.INT
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SqlAnalysisError):
+            Schema.of("a", "A")
+
+    def test_empty_field_name_rejected(self):
+        with pytest.raises(ValueError):
+            Field("")
+
+    def test_index_of_case_insensitive(self):
+        schema = Schema.of("Vid", "Date")
+        assert schema.index_of("vid") == 0
+        assert schema.index_of("DATE") == 1
+        assert "vID" in schema
+
+    def test_unknown_column_message_lists_available(self):
+        schema = Schema.of("a", "b")
+        with pytest.raises(SqlAnalysisError) as excinfo:
+            schema.index_of("z")
+        assert "a, b" in str(excinfo.value)
+
+    def test_select_preserves_order_and_types(self):
+        schema = Schema.of("a", "b:int", "c:float")
+        sub = schema.select(["c", "a"])
+        assert sub.names == ["c", "a"]
+        assert sub.field("c").dtype is DataType.FLOAT
+
+    def test_parse_row_width_mismatch(self):
+        schema = Schema.of("a", "b")
+        with pytest.raises(ValueError):
+            schema.parse_row(["only-one"])
+
+    def test_row_render_parse_round_trip(self):
+        schema = Schema.of("a", "b:int", "c:float", "d:bool")
+        row = ("text", 7, 2.5, True)
+        assert schema.parse_row(schema.render_row(row)) == row
+
+    def test_header_serialization_round_trip(self):
+        schema = Schema.of("vid", "index:float", "code:int", "ok:bool")
+        restored = Schema.from_header(schema.to_header())
+        assert restored == schema
+
+    def test_header_defaults_to_string(self):
+        schema = Schema.from_header("a,b")
+        assert schema.field("a").dtype is DataType.STRING
+
+    def test_equality(self):
+        assert Schema.of("a:int") == Schema.of("a:int")
+        assert Schema.of("a:int") != Schema.of("a:float")
+
+    def test_repr_readable(self):
+        assert "a:int" in repr(Schema.of("a:int"))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        names=st.lists(
+            st.text(
+                alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+                min_size=1,
+                max_size=8,
+            ),
+            min_size=1,
+            max_size=8,
+            unique_by=lambda s: s.lower(),
+        ),
+        types=st.lists(
+            st.sampled_from(["string", "int", "float", "bool"]),
+            min_size=8,
+            max_size=8,
+        ),
+    )
+    def test_header_round_trip_property(self, names, types):
+        schema = Schema(
+            [Field(n, DataType(t)) for n, t in zip(names, types)]
+        )
+        assert Schema.from_header(schema.to_header()) == schema
