@@ -11,6 +11,9 @@ Commands:
     Regenerate one (or all) of the paper's tables/figures and print it.
 ``queries``
     List the seven Table-I GridPocket queries.
+``chaos``
+    Run the Table-I queries under a seeded fault plan and verify the
+    results match a fault-free run (the resilience acceptance check).
 """
 
 from __future__ import annotations
@@ -48,6 +51,7 @@ def build_parser() -> argparse.ArgumentParser:
     demo = commands.add_parser("demo", help="end-to-end pushdown demo")
     demo.add_argument("--meters", type=int, default=50)
     demo.add_argument("--intervals", type=int, default=1000)
+    _add_resilience_options(demo)
 
     generate = commands.add_parser(
         "generate", help="write a synthetic dataset as CSV files"
@@ -70,7 +74,64 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     commands.add_parser("queries", help="list the Table-I queries")
+
+    chaos = commands.add_parser(
+        "chaos",
+        help="run the Table-I queries under fault injection and verify "
+        "results against a fault-free run",
+    )
+    chaos.add_argument("--meters", type=int, default=25)
+    chaos.add_argument("--intervals", type=int, default=96)
+    _add_resilience_options(chaos)
     return parser
+
+
+def _add_resilience_options(parser: argparse.ArgumentParser) -> None:
+    from repro.faults.plans import NAMED_PLANS
+
+    group = parser.add_argument_group("resilience")
+    group.add_argument(
+        "--retries",
+        type=int,
+        default=4,
+        help="client request attempts per operation (default: 4)",
+    )
+    group.add_argument(
+        "--backoff-base",
+        type=float,
+        default=0.05,
+        help="first retry backoff in seconds (default: 0.05)",
+    )
+    group.add_argument(
+        "--fault-seed",
+        type=int,
+        default=20170417,
+        help="seed fixing the injected fault sequence",
+    )
+    group.add_argument(
+        "--fault-plan",
+        choices=NAMED_PLANS,
+        default="none",
+        help="named fault plan to inject (default: none)",
+    )
+
+
+def _resilience_context(args, **context_kwargs):
+    from repro.core import ScoopContext
+    from repro.faults.plans import named_plan
+    from repro.swift.retry import RetryPolicy
+
+    policy = RetryPolicy(
+        max_attempts=args.retries,
+        backoff_base=args.backoff_base,
+        seed=args.fault_seed,
+    )
+    plan = None
+    if args.fault_plan != "none":
+        plan = named_plan(args.fault_plan, seed=args.fault_seed)
+    return ScoopContext(
+        retry_policy=policy, fault_plan=plan, **context_kwargs
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -83,14 +144,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _experiment(args)
     if args.command == "queries":
         return _queries()
+    if args.command == "chaos":
+        return _chaos(args)
     return 2  # pragma: no cover - argparse enforces the choices
 
 
 def _demo(args) -> int:
-    from repro.core import ScoopContext
     from repro.gridpocket import DatasetSpec, METER_SCHEMA, upload_dataset
 
-    ctx = ScoopContext()
+    ctx = _resilience_context(args)
     spec = DatasetSpec(
         meters=args.meters, intervals=args.intervals, objects=4
     )
@@ -114,7 +176,58 @@ def _demo(args) -> int:
         f"plain ingest moved {plain_report.bytes_transferred:,} "
         f"(data selectivity {report.data_selectivity:.1%})"
     )
+    if ctx.fault_plan is not None:
+        _print_resilience(ctx)
     return 0
+
+
+def _chaos(args) -> int:
+    from repro.gridpocket import (
+        DatasetSpec,
+        GRIDPOCKET_QUERIES,
+        METER_SCHEMA,
+        upload_dataset,
+    )
+
+    spec = DatasetSpec(
+        meters=args.meters, intervals=args.intervals, objects=3
+    )
+
+    def run_all(ctx):
+        upload_dataset(ctx.client, "meters", spec)
+        ctx.register_csv_table("largeMeter", "meters", schema=METER_SCHEMA)
+        results = {}
+        for query in GRIDPOCKET_QUERIES:
+            frame, _report = ctx.run_query(query.sql("largeMeter"))
+            results[query.name] = frame.collect()
+        return results
+
+    from repro.core import ScoopContext
+
+    print("running fault-free baseline...")
+    baseline = run_all(ScoopContext(chunk_size=48 * 1024))
+
+    print(
+        f"running plan {args.fault_plan!r} (seed {args.fault_seed})..."
+    )
+    ctx = _resilience_context(args, chunk_size=48 * 1024)
+    faulted = run_all(ctx)
+
+    mismatched = [
+        name for name in baseline if baseline[name] != faulted[name]
+    ]
+    _print_resilience(ctx)
+    if mismatched:
+        print(f"FAIL: results diverged for {', '.join(mismatched)}")
+        return 1
+    print(f"OK: all {len(baseline)} queries byte-identical to baseline")
+    return 0
+
+
+def _print_resilience(ctx) -> None:
+    print("resilience counters:")
+    for key, value in sorted(ctx.resilience_summary().items()):
+        print(f"  {key}: {value}")
 
 
 def _generate(args) -> int:

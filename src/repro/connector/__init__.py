@@ -15,8 +15,14 @@ issued to Swift" (Section V-A).  This package reproduces that role:
 
 from repro.connector.stocator import (
     ObjectSplit,
+    PushdownError,
     StocatorConnector,
     TransferMetrics,
 )
 
-__all__ = ["ObjectSplit", "StocatorConnector", "TransferMetrics"]
+__all__ = [
+    "ObjectSplit",
+    "PushdownError",
+    "StocatorConnector",
+    "TransferMetrics",
+]

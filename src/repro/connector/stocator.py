@@ -11,6 +11,44 @@ from repro.swift.client import SwiftClient
 from repro.swift.exceptions import RangeNotSatisfiable, SwiftError
 
 
+class PushdownError(SwiftError):
+    """A pushdown GET did not produce filtered data.
+
+    Carries enough context to retry the read without the storlet: the
+    object path, the requested byte range and the storlet that failed.
+    ``degradable`` tells callers whether falling back to a plain GET
+    plus a compute-side filter is sound:
+
+    * ``True`` -- the storlet failed at *runtime* (sandbox crash, CPU or
+      output budget, deadline, injected fault); the stored bytes are
+      fine, so re-reading them plainly yields correct results.
+    * ``False`` -- a *configuration* problem (middleware missing, filter
+      not deployed, unexpected HTTP error); degrading would mask a
+      misconfigured cluster, so callers must fail loudly.
+    """
+
+    status = 500
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        container: str = "",
+        name: str = "",
+        byte_range: Tuple[int, int] = (0, 0),
+        storlet: str = "",
+        reason: str = "",
+        degradable: bool = False,
+    ):
+        super().__init__(message)
+        self.container = container
+        self.name = name
+        self.byte_range = byte_range
+        self.storlet = storlet
+        self.reason = reason
+        self.degradable = degradable
+
+
 @dataclass(frozen=True)
 class ObjectSplit:
     """One byte range of one object, handled by one analytics task."""
@@ -44,6 +82,9 @@ class TransferMetrics:
     bytes_transferred: int = 0
     bytes_requested: int = 0
     pushdown_requests: int = 0
+    #: Pushdown reads that degraded to a plain GET + compute-side filter
+    #: after a runtime storlet failure.
+    pushdown_fallbacks: int = 0
 
     def record(self, transferred: int, requested: int, pushdown: bool) -> None:
         self.requests += 1
@@ -51,6 +92,9 @@ class TransferMetrics:
         self.bytes_requested += requested
         if pushdown:
             self.pushdown_requests += 1
+
+    def record_fallback(self) -> None:
+        self.pushdown_fallbacks += 1
 
     def savings_ratio(self) -> float:
         """Fraction of requested bytes that did NOT need to travel."""
@@ -63,6 +107,7 @@ class TransferMetrics:
         self.bytes_transferred = 0
         self.bytes_requested = 0
         self.pushdown_requests = 0
+        self.pushdown_fallbacks = 0
 
 
 class StocatorConnector:
@@ -139,19 +184,57 @@ class StocatorConnector:
             headers[StorletRequestHeaders.RANGE] = (
                 f"bytes={split.start}-{split.end}"
             )
-            response_headers, body = self.client.get_object(
-                split.container, split.name, headers=headers
-            )
+            try:
+                response_headers, body = self.client.get_object(
+                    split.container, split.name, headers=headers
+                )
+            except SwiftError as error:
+                failure_reason = (
+                    getattr(error, "headers", None) or {}
+                ).get(StorletRequestHeaders.FAILURE)
+                if failure_reason:
+                    # The storlet itself failed at runtime on every
+                    # replica; the data is intact, so the caller may
+                    # degrade to a plain GET + compute-side filter.
+                    raise PushdownError(
+                        f"pushdown storlet {task.storlet!r} failed "
+                        f"({failure_reason}) for "
+                        f"/{split.container}/{split.name} "
+                        f"bytes {split.start}-{split.end}: {error}",
+                        container=split.container,
+                        name=split.name,
+                        byte_range=(split.start, split.end),
+                        storlet=task.storlet,
+                        reason=failure_reason,
+                        degradable=True,
+                    ) from error
+                raise PushdownError(
+                    f"pushdown GET failed for "
+                    f"/{split.container}/{split.name} "
+                    f"bytes {split.start}-{split.end}: {error}",
+                    container=split.container,
+                    name=split.name,
+                    byte_range=(split.start, split.end),
+                    storlet=task.storlet,
+                    reason=f"http-{error.status}",
+                    degradable=False,
+                ) from error
             if StorletRequestHeaders.INVOKED not in response_headers:
                 # Nothing intercepted the request: the store has no
                 # storlet engine (or the filter is not deployed).  Parsing
                 # raw data with the pruned schema would silently corrupt
                 # results, so fail loudly.
-                raise SwiftError(
+                raise PushdownError(
                     f"pushdown task {task.storlet!r} was not executed by "
                     f"the object store for /{split.container}/{split.name}; "
                     "is the storlet middleware installed and the filter "
-                    "deployed?"
+                    "deployed?",
+                    container=split.container,
+                    name=split.name,
+                    byte_range=(split.start, split.end),
+                    storlet=task.storlet,
+                    reason="not-executed",
+                    degradable=False,
                 )
             self.metrics.record(len(body), split.length, pushdown=True)
             return body

@@ -29,6 +29,7 @@ from repro.storlets.engine import StorletEngine, StorletPolicy
 from repro.storlets.etl_storlet import CleansingStorlet, ColumnSplitStorlet
 from repro.swift.client import SwiftClient
 from repro.swift.proxy import SwiftCluster
+from repro.swift.retry import RetryPolicy
 
 
 @dataclass
@@ -40,6 +41,9 @@ class QueryRunReport:
     bytes_requested: int
     requests: int
     pushdown_requests: int
+    #: Pushdown reads that had to degrade to plain GETs after a runtime
+    #: storlet failure (zero on a healthy cluster).
+    pushdown_fallbacks: int = 0
 
     @property
     def data_selectivity(self) -> float:
@@ -62,6 +66,9 @@ class ScoopContext:
         num_workers: int = 4,
         chunk_size: int = 1 * 2**20,
         controller: Optional[AdaptivePushdownController] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        fault_plan=None,
+        max_task_attempts: int = 3,
     ):
         self.engine = StorletEngine()
         self.cluster = SwiftCluster(
@@ -72,9 +79,15 @@ class ScoopContext:
             proxy_middleware=[self.engine.proxy_middleware()],
             object_middleware=[self.engine.object_middleware()],
         )
-        self.client = SwiftClient(self.cluster, account)
+        self.client = SwiftClient(
+            self.cluster, account, retry_policy=retry_policy
+        )
         self.connector = StocatorConnector(self.client, chunk_size=chunk_size)
-        self.spark_context = SparkContext("scoop", num_workers=num_workers)
+        self.spark_context = SparkContext(
+            "scoop",
+            num_workers=num_workers,
+            max_task_attempts=max_task_attempts,
+        )
         self.session = SparkSession(self.spark_context)
         self.controller = controller
         self.delegator = AnalyticsDelegator(controller)
@@ -86,6 +99,17 @@ class ScoopContext:
         self.engine.deploy(ColumnSplitStorlet(), self.client)
         self.engine.deploy(CompressStorlet(), self.client)
         self.engine.deploy(DecompressStorlet(), self.client)
+
+        # Chaos wiring: installed after deployment so the control-plane
+        # PUTs above run fault-free and every plan sees the same start.
+        self.fault_plan = fault_plan
+        self.fault_injector = None
+        if fault_plan is not None:
+            from repro.faults.inject import install_fault_plan
+
+            self.fault_injector = install_fault_plan(
+                self.cluster, fault_plan, engine=self.engine
+            )
 
     # -- data management ----------------------------------------------------
 
@@ -163,6 +187,7 @@ class ScoopContext:
             metrics.bytes_transferred,
             metrics.bytes_requested,
             metrics.pushdown_requests,
+            metrics.pushdown_fallbacks,
         )
         frame = self.session.sql(text)
         rows = frame.collect()
@@ -172,6 +197,7 @@ class ScoopContext:
             bytes_requested=metrics.bytes_requested - before[2],
             requests=metrics.requests - before[0],
             pushdown_requests=metrics.pushdown_requests - before[3],
+            pushdown_fallbacks=metrics.pushdown_fallbacks - before[4],
         )
         return frame, report
 
@@ -198,6 +224,7 @@ class ScoopContext:
             metrics.bytes_transferred,
             metrics.bytes_requested,
             metrics.pushdown_requests,
+            metrics.pushdown_fallbacks,
         )
         result_schema, rows = run_aggregation_query(
             self.connector, text, schema, container, prefix, has_header
@@ -208,6 +235,7 @@ class ScoopContext:
             bytes_requested=metrics.bytes_requested - before[2],
             requests=metrics.requests - before[0],
             pushdown_requests=metrics.pushdown_requests - before[3],
+            pushdown_fallbacks=metrics.pushdown_fallbacks - before[4],
         )
         return (result_schema, rows), report
 
@@ -248,6 +276,24 @@ class ScoopContext:
         return controller
 
     # -- observability ---------------------------------------------------------------
+
+    def resilience_summary(self) -> Dict[str, float]:
+        """One flat view of every fault-absorption counter in the stack."""
+        stats = self.client.stats
+        summary: Dict[str, float] = {
+            "client_requests": stats.requests,
+            "client_retries": stats.retries,
+            "client_backoff_seconds": stats.backoff_seconds,
+            "client_exhausted": stats.exhausted,
+            "get_failovers": self.cluster.counters["get_failovers"],
+            "put_degraded": self.cluster.counters["put_degraded"],
+            "task_retries": self.spark_context.task_retries(),
+            "pushdown_fallbacks": self.connector.metrics.pushdown_fallbacks,
+            "failed_devices": len(self.cluster.failed_devices),
+        }
+        if self.fault_plan is not None:
+            summary["faults_injected"] = self.fault_plan.fired()
+        return summary
 
     def storage_cpu_seconds(self) -> float:
         """Total CPU charged to storage-node sandboxes so far."""

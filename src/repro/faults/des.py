@@ -1,0 +1,132 @@
+"""Deriving a DES fault schedule from a functional fault plan.
+
+The perf model (:mod:`repro.simulation`) replays cluster behaviour on a
+virtual clock; for chaos experiments it must see the *same* faults as
+the functional layer.  Rather than coupling the DES to request
+interception, this adapter derives a deterministic timeline of fault
+events from the same plan seed and rules: same seed, same rules -> same
+timeline, every run.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.faults.plan import (
+    DeviceLoss,
+    FaultPlan,
+    FlakyObjectServer,
+    FlakyProxy,
+    SlowObjectServer,
+    StorletCrash,
+)
+from repro.simulation.core import Environment
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault occurrence on the simulated clock."""
+
+    time: float
+    kind: str
+    target: str
+    detail: str = ""
+
+
+def fault_timeline(
+    plan: FaultPlan,
+    horizon: float,
+    mean_interval: float = 10.0,
+) -> List[FaultEvent]:
+    """Expand ``plan`` into a time-ordered list of fault events.
+
+    Recurring rules (``times=None``) arrive as a Poisson process thinned
+    by the rule probability; bounded rules contribute at most ``times``
+    events.  ``DeviceLoss`` rules map their request threshold onto the
+    clock proportionally (``at_request`` requests ~ one per simulated
+    second).  The RNG stream per rule matches the functional plan's
+    seeding scheme, so a given (seed, rule index) always yields the same
+    arrivals.
+    """
+    if horizon <= 0:
+        raise ValueError(f"horizon must be positive: {horizon}")
+    events: List[FaultEvent] = []
+    for index, rule in enumerate(plan.faults):
+        rng = random.Random(plan.seed * 1_000_003 + index * 97)
+        if isinstance(rule, DeviceLoss):
+            when = min(float(rule.at_request), horizon)
+            events.append(
+                FaultEvent(
+                    time=when,
+                    kind="device-loss",
+                    target=f"device#{rule.device_index}",
+                )
+            )
+            continue
+        kind, target, detail = _describe(rule)
+        budget = rule.times
+        clock = 0.0
+        while budget is None or budget > 0:
+            clock += rng.expovariate(1.0 / mean_interval)
+            if clock >= horizon:
+                break
+            if rule.probability < 1.0 and rng.random() >= rule.probability:
+                continue
+            events.append(
+                FaultEvent(time=clock, kind=kind, target=target, detail=detail)
+            )
+            if budget is not None:
+                budget -= 1
+    events.sort(key=lambda event: (event.time, event.kind, event.target))
+    return events
+
+
+def schedule_faults(
+    env: Environment,
+    plan: FaultPlan,
+    horizon: float,
+    on_fault: Callable[[FaultEvent], None],
+    mean_interval: float = 10.0,
+):
+    """Start a DES process delivering the plan's timeline to ``on_fault``.
+
+    Returns the started process so callers can wait on it.
+    """
+    timeline = fault_timeline(plan, horizon, mean_interval=mean_interval)
+
+    def deliver(env: Environment):
+        previous = 0.0
+        for event in timeline:
+            delay = event.time - previous
+            if delay > 0:
+                yield env.timeout(delay)
+            previous = event.time
+            on_fault(event)
+
+    return env.process(deliver(env))
+
+
+def _describe(rule) -> tuple:
+    if isinstance(rule, FlakyObjectServer):
+        return (
+            "object-error",
+            rule.node or "any",
+            f"{rule.method} -> {rule.status}",
+        )
+    if isinstance(rule, SlowObjectServer):
+        return (
+            "object-stall",
+            rule.node or "any",
+            f"{rule.method} +{rule.stall_seconds}s",
+        )
+    if isinstance(rule, StorletCrash):
+        return (
+            "storlet-fault",
+            f"{rule.storlet or 'any'}@{rule.node or 'any'}",
+            rule.reason,
+        )
+    if isinstance(rule, FlakyProxy):
+        return ("proxy-error", "proxy", f"-> {rule.status}")
+    raise TypeError(f"unknown fault rule: {rule!r}")

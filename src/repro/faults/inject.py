@@ -1,0 +1,170 @@
+"""Installing a fault plan into a live cluster.
+
+The injector turns the plan's abstract rules into concrete failures at
+the three layers the resilience machinery defends:
+
+* **object middleware** (innermost, next to the disk): injected error
+  statuses and stalls, surfacing as 503/504 on one replica so the proxy
+  fails over;
+* **proxy middleware** (after auth): transient proxy rejections the
+  client retries, plus the request-count trigger for permanent device
+  losses;
+* **storlet hook** (inside the sandbox): crashes and budget exhaustion,
+  surfacing as degradable :class:`~repro.storlets.api.StorletFailure`.
+
+All three consult the same :class:`~repro.faults.plan.FaultPlan`, so one
+seed fixes the entire fault sequence.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.faults.plan import DeviceLoss, FaultPlan
+from repro.storlets.api import StorletFailure
+from repro.swift.exceptions import (
+    RequestTimeout,
+    ServiceUnavailable,
+    SwiftError,
+)
+from repro.swift.http import Request, Response
+from repro.swift.proxy import SwiftCluster
+
+
+class FaultInjector:
+    """Bridges a :class:`FaultPlan` onto a :class:`SwiftCluster`."""
+
+    def __init__(self, plan: FaultPlan, cluster: SwiftCluster):
+        self.plan = plan
+        self.cluster = cluster
+        self._lost_devices: set = set()
+
+    # -- middleware factories ----------------------------------------------
+
+    def object_middleware(self) -> Callable:
+        injector = self
+
+        class _ObjectFaults:
+            def __init__(self, app):
+                self.app = app
+
+            def __call__(self, request: Request) -> Response:
+                injector._apply_object_fault(request)
+                return self.app(request)
+
+        return _ObjectFaults
+
+    def proxy_middleware(self) -> Callable:
+        injector = self
+
+        class _ProxyFaults:
+            def __init__(self, app):
+                self.app = app
+
+            def __call__(self, request: Request) -> Response:
+                injector._apply_proxy_fault(request)
+                return self.app(request)
+
+        return _ProxyFaults
+
+    def storlet_hook(self) -> Callable[[str, str, str], None]:
+        def hook(storlet: str, node: str, tier: str) -> None:
+            reason = self.plan.storlet_fault(storlet, node)
+            if reason is not None:
+                raise StorletFailure(
+                    f"injected sandbox failure ({reason}) running "
+                    f"{storlet!r} on {node}",
+                    storlet=storlet,
+                    node=node,
+                    reason=reason,
+                )
+
+        return hook
+
+    # -- fault application ---------------------------------------------------
+
+    def _apply_object_fault(self, request: Request) -> None:
+        node = request.environ.get("swift.node", "object")
+        fault = self.plan.object_fault(node, request.method)
+        if fault is None:
+            return
+        kind, value = fault
+        if kind == "status":
+            status = int(value)
+            if status == 503:
+                raise ServiceUnavailable(
+                    f"injected fault: {node} unavailable"
+                )
+            if status == 504:
+                raise RequestTimeout(f"injected fault: {node} timed out")
+            error = SwiftError(f"injected fault: {node} -> {status}")
+            error.status = status
+            raise error
+        if kind == "stall":
+            deadline = _request_deadline(request)
+            if deadline is not None and value >= deadline:
+                raise RequestTimeout(
+                    f"injected stall of {value}s on {node} exceeded the "
+                    f"{deadline}s request deadline"
+                )
+            # A stall under the deadline only slows the request; record
+            # it for the perf model and continue.
+            request.environ["swift.simulated_stall"] = (
+                request.environ.get("swift.simulated_stall", 0.0) + value
+            )
+
+    def _apply_proxy_fault(self, request: Request) -> None:
+        for loss in self.plan.on_request():
+            self._fire_device_loss(loss)
+        status = self.plan.proxy_fault(request.method)
+        if status is not None:
+            if status == 503:
+                raise ServiceUnavailable("injected fault: proxy unavailable")
+            error = SwiftError(f"injected fault: proxy -> {status}")
+            error.status = status
+            raise error
+
+    def _fire_device_loss(self, loss: DeviceLoss) -> None:
+        device_ids = sorted(
+            device_id
+            for server in self.cluster.object_servers.values()
+            for device_id in server.devices
+        )
+        if not device_ids:
+            return
+        device_id = device_ids[loss.device_index % len(device_ids)]
+        if device_id in self._lost_devices:
+            return
+        self._lost_devices.add(device_id)
+        self.cluster.fail_device(device_id)
+
+    @property
+    def lost_devices(self) -> List[int]:
+        return sorted(self._lost_devices)
+
+
+def install_fault_plan(
+    cluster: SwiftCluster, plan: FaultPlan, engine=None
+) -> FaultInjector:
+    """Wire ``plan`` into ``cluster`` (and ``engine``'s sandboxes).
+
+    The object middleware is appended innermost, so injected replica
+    faults hit *after* the storlet middleware has routed the request --
+    exactly where a real disk or service failure would strike.
+    """
+    injector = FaultInjector(plan, cluster)
+    cluster.install_object_middleware(injector.object_middleware())
+    cluster.install_proxy_middleware(injector.proxy_middleware())
+    if engine is not None:
+        engine.fault_hook = injector.storlet_hook()
+    return injector
+
+
+def _request_deadline(request: Request) -> Optional[float]:
+    raw = request.headers.get("x-request-timeout")
+    if raw is None:
+        return None
+    try:
+        return float(raw)
+    except ValueError:
+        return None

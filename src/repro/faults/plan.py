@@ -1,0 +1,262 @@
+"""Seeded, deterministic fault plans.
+
+A :class:`FaultPlan` is the single source of truth for every injected
+fault in a chaos run: which rules exist, in which order they are
+consulted, and -- through one :mod:`random` stream per rule derived from
+the plan seed -- exactly which requests they fire on.  Replaying the
+same plan against the same workload therefore reproduces the same fault
+sequence bit for bit, which is what lets the chaos tests assert
+byte-identical query results and exact retry budgets.
+
+Rules are pure data (frozen dataclasses); all mutable state (remaining
+trigger counts, RNG positions, the fault log) lives in the plan and is
+rebuilt by :meth:`FaultPlan.reset`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+
+@dataclass(frozen=True)
+class FlakyObjectServer:
+    """An object server that answers with an error status.
+
+    ``node=None`` matches every storage node; ``times=None`` keeps the
+    rule firing forever (persistent flakiness), otherwise it disarms
+    after ``times`` triggers.  ``probability`` thins the rule with the
+    rule's own seeded RNG.
+    """
+
+    node: Optional[str] = None
+    method: str = "GET"
+    status: int = 503
+    times: Optional[int] = 1
+    probability: float = 1.0
+
+
+@dataclass(frozen=True)
+class SlowObjectServer:
+    """An object server that stalls for ``stall_seconds`` before
+    answering.  The store does not actually sleep: the stall is compared
+    against the request's ``X-Request-Timeout`` deadline, and a stall at
+    or past the deadline surfaces as a 504 on that replica."""
+
+    node: Optional[str] = None
+    method: str = "GET"
+    stall_seconds: float = 60.0
+    times: Optional[int] = 1
+    probability: float = 1.0
+
+
+@dataclass(frozen=True)
+class StorletCrash:
+    """A storlet invocation that fails inside the sandbox.
+
+    ``reason`` is the :class:`~repro.storlets.api.StorletFailure` reason
+    token to report (``crash``, ``cpu-exhausted``, ...).
+    """
+
+    storlet: Optional[str] = None
+    node: Optional[str] = None
+    reason: str = "crash"
+    times: Optional[int] = 1
+    probability: float = 1.0
+
+
+@dataclass(frozen=True)
+class FlakyProxy:
+    """A proxy that rejects a request outright (e.g. transient 503)."""
+
+    status: int = 503
+    times: Optional[int] = 1
+    probability: float = 1.0
+
+
+@dataclass(frozen=True)
+class DeviceLoss:
+    """Permanently fail the ``device_index``-th device (in sorted device
+    id order) when the cluster has served ``at_request`` requests."""
+
+    device_index: int = 0
+    at_request: int = 1
+
+
+FaultRule = Union[
+    FlakyObjectServer, SlowObjectServer, StorletCrash, FlakyProxy, DeviceLoss
+]
+
+
+@dataclass(frozen=True)
+class InjectedFault:
+    """One fault that actually fired (the plan's audit log)."""
+
+    sequence: int
+    kind: str
+    target: str
+    detail: str
+
+
+class FaultPlan:
+    """An ordered set of fault rules plus the seeded state to apply them.
+
+    The plan is consulted by the injection middleware/hooks at three
+    points -- object-server requests, proxy requests and storlet
+    invocations -- and by the DES adapter
+    (:func:`repro.faults.des.fault_timeline`) to derive an equivalent
+    simulated fault schedule from the same seed.
+    """
+
+    def __init__(self, seed: int = 20170417, faults: Tuple[FaultRule, ...] = ()):
+        self.seed = seed
+        self.faults: Tuple[FaultRule, ...] = tuple(faults)
+        self.log: List[InjectedFault] = []
+        self._remaining: Dict[int, Optional[int]] = {}
+        self._rngs: Dict[int, random.Random] = {}
+        self._request_count = 0
+        self._fired_losses: set = set()
+        self.reset()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def reset(self) -> None:
+        """Re-arm every rule and rewind every RNG; forget the log."""
+        self.log = []
+        self._request_count = 0
+        self._fired_losses = set()
+        self._remaining = {}
+        self._rngs = {}
+        for index, rule in enumerate(self.faults):
+            self._remaining[index] = getattr(rule, "times", None)
+            self._rngs[index] = random.Random(
+                self.seed * 1_000_003 + index * 97
+            )
+
+    # -- decision points ----------------------------------------------------
+
+    def on_request(self) -> List[DeviceLoss]:
+        """Advance the cluster-request counter; return device losses due."""
+        self._request_count += 1
+        due = []
+        for index, rule in enumerate(self.faults):
+            if not isinstance(rule, DeviceLoss):
+                continue
+            if index in self._fired_losses:
+                continue
+            if self._request_count >= rule.at_request:
+                self._fired_losses.add(index)
+                self._record(
+                    "device-loss",
+                    f"device#{rule.device_index}",
+                    f"at_request={rule.at_request}",
+                )
+                due.append(rule)
+        return due
+
+    def object_fault(
+        self, node: str, method: str
+    ) -> Optional[Tuple[str, float]]:
+        """First matching object-server fault for this request, if any.
+
+        Returns ``("status", code)`` for an error response or
+        ``("stall", seconds)`` for a slow replica.
+        """
+        for index, rule in enumerate(self.faults):
+            if isinstance(rule, FlakyObjectServer):
+                if rule.node is not None and rule.node != node:
+                    continue
+                if rule.method != method:
+                    continue
+                if not self._fires(index, rule):
+                    continue
+                self._record(
+                    "object-error", node, f"{method} -> {rule.status}"
+                )
+                return ("status", float(rule.status))
+            if isinstance(rule, SlowObjectServer):
+                if rule.node is not None and rule.node != node:
+                    continue
+                if rule.method != method:
+                    continue
+                if not self._fires(index, rule):
+                    continue
+                self._record(
+                    "object-stall", node, f"{method} +{rule.stall_seconds}s"
+                )
+                return ("stall", rule.stall_seconds)
+        return None
+
+    def proxy_fault(self, method: str) -> Optional[int]:
+        """Status of an injected proxy-level rejection, if one fires."""
+        for index, rule in enumerate(self.faults):
+            if not isinstance(rule, FlakyProxy):
+                continue
+            if not self._fires(index, rule):
+                continue
+            self._record("proxy-error", "proxy", f"{method} -> {rule.status}")
+            return rule.status
+        return None
+
+    def storlet_fault(self, storlet: str, node: str) -> Optional[str]:
+        """Reason token of an injected storlet failure, if one fires."""
+        for index, rule in enumerate(self.faults):
+            if not isinstance(rule, StorletCrash):
+                continue
+            if rule.storlet is not None and rule.storlet != storlet:
+                continue
+            if rule.node is not None and rule.node != node:
+                continue
+            if not self._fires(index, rule):
+                continue
+            self._record("storlet-fault", f"{storlet}@{node}", rule.reason)
+            return rule.reason
+        return None
+
+    # -- observability ------------------------------------------------------
+
+    def fingerprint(self) -> Tuple[Tuple[str, str, str], ...]:
+        """Order-preserving digest of every fault that fired; two runs of
+        the same plan against the same workload produce equal
+        fingerprints (the chaos determinism assertion)."""
+        return tuple(
+            (fault.kind, fault.target, fault.detail) for fault in self.log
+        )
+
+    def fired(self, kind: Optional[str] = None) -> int:
+        if kind is None:
+            return len(self.log)
+        return sum(1 for fault in self.log if fault.kind == kind)
+
+    # -- internals ----------------------------------------------------------
+
+    def _fires(self, index: int, rule: FaultRule) -> bool:
+        remaining = self._remaining.get(index)
+        if remaining is not None and remaining <= 0:
+            return False
+        probability = getattr(rule, "probability", 1.0)
+        if probability < 1.0:
+            # Draw even for armed-but-unlucky rules so the stream
+            # position depends only on how often the rule was consulted.
+            if self._rngs[index].random() >= probability:
+                return False
+        if remaining is not None:
+            self._remaining[index] = remaining - 1
+        return True
+
+    def _record(self, kind: str, target: str, detail: str) -> None:
+        self.log.append(
+            InjectedFault(
+                sequence=len(self.log),
+                kind=kind,
+                target=target,
+                detail=detail,
+            )
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultPlan(seed={self.seed}, rules={len(self.faults)}, "
+            f"fired={len(self.log)})"
+        )

@@ -1,0 +1,86 @@
+"""Named fault plans used by the chaos suite and the CLI.
+
+Each named plan stresses one leg of the resilience machinery:
+
+* ``none`` -- the fault-free control run;
+* ``device-loss`` -- permanent disk failures mid-workload, absorbed by
+  replica failover and later repaired by the replicator;
+* ``flaky-object`` -- transient replica errors and stalls past the
+  request deadline, absorbed by proxy failover plus client retry;
+* ``storlet-crash`` -- persistent sandbox failures of the pushdown
+  filter, absorbed by graceful degradation to plain GETs with
+  compute-side filtering (``pushdown_fallbacks`` must rise).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.faults.plan import (
+    DeviceLoss,
+    FaultPlan,
+    FlakyObjectServer,
+    FlakyProxy,
+    SlowObjectServer,
+    StorletCrash,
+)
+
+NAMED_PLANS = ("none", "device-loss", "flaky-object", "storlet-crash")
+
+
+def named_plan(name: str, seed: int = 20170417) -> FaultPlan:
+    """Build one of the :data:`NAMED_PLANS` with the given seed."""
+    if name == "none":
+        return FaultPlan(seed=seed, faults=())
+    if name == "device-loss":
+        return FaultPlan(
+            seed=seed,
+            faults=(
+                DeviceLoss(device_index=0, at_request=5),
+                DeviceLoss(device_index=3, at_request=12),
+                DeviceLoss(device_index=5, at_request=20),
+            ),
+        )
+    if name == "flaky-object":
+        return FaultPlan(
+            seed=seed,
+            faults=(
+                # A few one-shot replica errors early in the workload...
+                FlakyObjectServer(method="GET", status=503, times=3),
+                # ...a replica stalled past any sane request deadline...
+                SlowObjectServer(
+                    method="GET", stall_seconds=120.0, times=2
+                ),
+                # ...and occasional transient proxy rejections.
+                FlakyProxy(status=503, times=2, probability=0.5),
+            ),
+        )
+    if name == "storlet-crash":
+        return FaultPlan(
+            seed=seed,
+            faults=(
+                # Persistent, probabilistic sandbox crashes of the CSV
+                # pushdown filter: with ~70% per-invocation failure on
+                # every node, some splits crash on all replicas and must
+                # degrade to plain reads (pushdown_fallbacks > 0).
+                StorletCrash(
+                    storlet="csvstorlet",
+                    reason="crash",
+                    times=None,
+                    probability=0.7,
+                ),
+                # One CPU-budget exhaustion for reason-token coverage.
+                StorletCrash(
+                    storlet="csvstorlet",
+                    reason="cpu-exhausted",
+                    times=1,
+                ),
+            ),
+        )
+    raise ValueError(
+        f"unknown fault plan {name!r}; choose one of {', '.join(NAMED_PLANS)}"
+    )
+
+
+def all_plans(seed: int = 20170417) -> List[FaultPlan]:
+    return [named_plan(name, seed) for name in NAMED_PLANS]

@@ -13,7 +13,11 @@ from __future__ import annotations
 
 from typing import Iterator, List, Optional, Sequence
 
-from repro.connector.stocator import ObjectSplit, StocatorConnector
+from repro.connector.stocator import (
+    ObjectSplit,
+    PushdownError,
+    StocatorConnector,
+)
 from repro.core.pushdown import PushdownTask
 from repro.sql.filters import Filter
 from repro.sql.types import DataType, Field, Row, Schema
@@ -64,7 +68,19 @@ class CsvScanRDD(RDD[Row]):
         split = self.splits[split_index]
         pushdown = self.task is not None and not self.task.is_noop()
         if pushdown:
-            body = self.connector.read_split_raw(split, self.task)
+            try:
+                body = self.connector.read_split_raw(split, self.task)
+            except PushdownError as error:
+                if not error.degradable:
+                    raise
+                # The storlet failed at runtime on every replica but the
+                # stored bytes are intact: degrade to a plain ranged GET
+                # and filter/project on the compute side.  The session's
+                # executor re-applies the full logical plan over scan
+                # rows, so results are identical to the pushdown path.
+                self.connector.metrics.record_fallback()
+                yield from self._plain_rows(split)
+                return
             if self.task.compress and body:
                 from repro.storlets.compress_storlet import decompress_bytes
 
@@ -75,14 +91,8 @@ class CsvScanRDD(RDD[Row]):
             parse_schema = self.output_schema
             skip_header = False
         else:
-            body = self.connector.read_split_raw(split, None)
-            lines = _owned_lines(
-                StorletInputStream([body] if body else []),
-                split.start,
-                split.length,
-            )
-            parse_schema = self.full_schema
-            skip_header = self.has_header and split.is_first
+            yield from self._plain_rows(split)
+            return
 
         for raw_line in lines:
             if skip_header:
@@ -101,6 +111,48 @@ class CsvScanRDD(RDD[Row]):
                 raise
             if self._projection is not None:
                 row = tuple(row[index] for index in self._projection)
+            yield row
+
+    def _plain_rows(self, split: ObjectSplit) -> Iterator[Row]:
+        """Read a split without pushdown: plain ranged GET, record
+        alignment and projection on the compute side.
+
+        Used for pushdown-disabled scans and as the graceful-degradation
+        path after a runtime storlet failure.  WHERE filters are NOT
+        applied here; the session executor re-applies the plan's filter
+        nodes over scan rows, so unfiltered rows remain correct.
+        """
+        body = self.connector.read_split_raw(split, None)
+        lines = _owned_lines(
+            StorletInputStream([body] if body else []),
+            split.start,
+            split.length,
+        )
+        skip_header = self.has_header and split.is_first
+        if len(self.output_schema) != len(self.full_schema):
+            projection = [
+                self.full_schema.index_of(name)
+                for name in self.output_schema.names
+            ]
+        else:
+            projection = None
+        for raw_line in lines:
+            if skip_header:
+                skip_header = False
+                continue
+            fields = _parse_record(raw_line, self.delimiter)
+            if fields is None or len(fields) != len(self.full_schema):
+                if self.drop_malformed:
+                    continue
+                raise ValueError(f"malformed CSV record: {raw_line[:120]!r}")
+            try:
+                row = self.full_schema.parse_row(fields)
+            except (ValueError, TypeError):
+                if self.drop_malformed:
+                    continue
+                raise
+            if projection is not None:
+                row = tuple(row[index] for index in projection)
             yield row
 
 

@@ -23,7 +23,7 @@ from repro.spark.rdd import (
 
 @dataclass
 class TaskMetrics:
-    """One executed task."""
+    """One task attempt (failed attempts are logged too)."""
 
     stage_id: int
     task_id: int
@@ -32,6 +32,8 @@ class TaskMetrics:
     rows: int
     duration_seconds: float
     rdd_name: str
+    attempt: int = 1
+    status: str = "success"
 
 
 @dataclass
@@ -45,16 +47,32 @@ class StageInfo:
 class SparkContext:
     """Driver-side state: workers, scheduler, shuffle storage, metrics."""
 
-    def __init__(self, app_name: str = "repro", num_workers: int = 4):
+    def __init__(
+        self,
+        app_name: str = "repro",
+        num_workers: int = 4,
+        max_task_attempts: int = 3,
+        blacklist_after: int = 2,
+    ):
         if num_workers < 1:
             raise ValueError("need at least one worker")
+        if max_task_attempts < 1:
+            raise ValueError("need at least one task attempt")
         self.app_name = app_name
         self.workers = [f"worker{i}" for i in range(num_workers)]
+        # Bounded retry: a task is re-run on a different worker up to
+        # ``max_task_attempts`` times; workers accumulating
+        # ``blacklist_after`` failures are avoided while healthy
+        # alternatives exist (Spark's spark.task.maxFailures +
+        # executor blacklisting).
+        self.max_task_attempts = max_task_attempts
+        self.blacklist_after = blacklist_after
         self.task_log: List[TaskMetrics] = []
         self.stage_log: List[StageInfo] = []
         self._stage_ids = itertools.count()
         self._task_ids = itertools.count()
         self._worker_cycle = itertools.cycle(self.workers)
+        self._worker_failures: Dict[str, int] = {}
         # shuffle_id -> reduce partition -> list of (key, value)
         self._shuffle_store: Dict[int, Dict[int, List[Tuple[Any, Any]]]] = {}
         self._materialized_shuffles: set = set()
@@ -114,8 +132,13 @@ class SparkContext:
         combine = dependency.combiner
 
         for split in range(parent.num_partitions()):
-            def write_shuffle(iterator: Iterator[Tuple[Any, Any]]) -> int:
-                # Map-side combine before bucketing, like Spark.
+            def write_shuffle(
+                iterator: Iterator[Tuple[Any, Any]]
+            ) -> List[Tuple[int, Tuple[Any, Any]]]:
+                # Map-side combine before bucketing, like Spark.  Returns
+                # (bucket, pair) tuples instead of mutating the shared
+                # buckets so a retried attempt cannot double-commit its
+                # partial output.
                 if combine is not None:
                     partials: Dict[Any, Any] = {}
                     for key, value in iterator:
@@ -126,15 +149,14 @@ class SparkContext:
                     items = partials.items()
                 else:
                     items = list(iterator)  # type: ignore[assignment]
-                rows = 0
-                for key, value in items:
-                    buckets[hash(key) % dependency.num_partitions].append(
-                        (key, value)
-                    )
-                    rows += 1
-                return rows
+                return [
+                    (hash(key) % dependency.num_partitions, (key, value))
+                    for key, value in items
+                ]
 
-            self._run_task(stage_id, parent, split, write_shuffle)
+            pairs = self._run_task(stage_id, parent, split, write_shuffle)
+            for bucket, pair in pairs:
+                buckets[bucket].append(pair)
         self._shuffle_store[dependency.shuffle_id] = buckets
         self._materialized_shuffles.add(dependency.shuffle_id)
 
@@ -155,26 +177,66 @@ class SparkContext:
         split: int,
         function: Callable[[Iterator[Any]], Any],
     ) -> Any:
-        worker = next(self._worker_cycle)
         task_id = next(self._task_ids)
-        started = time.perf_counter()
-        output = function(rdd.iterator(split))
-        duration = time.perf_counter() - started
-        rows = output if isinstance(output, int) else (
-            len(output) if hasattr(output, "__len__") else -1
-        )
-        self.task_log.append(
-            TaskMetrics(
-                stage_id=stage_id,
-                task_id=task_id,
-                partition=split,
-                worker=worker,
-                rows=rows,
-                duration_seconds=duration,
-                rdd_name=rdd.name,
+        last_error: Optional[BaseException] = None
+        for attempt in range(1, self.max_task_attempts + 1):
+            worker = self._next_worker()
+            started = time.perf_counter()
+            try:
+                output = function(rdd.iterator(split))
+            except Exception as error:
+                duration = time.perf_counter() - started
+                last_error = error
+                self._worker_failures[worker] = (
+                    self._worker_failures.get(worker, 0) + 1
+                )
+                self.task_log.append(
+                    TaskMetrics(
+                        stage_id=stage_id,
+                        task_id=task_id,
+                        partition=split,
+                        worker=worker,
+                        rows=-1,
+                        duration_seconds=duration,
+                        rdd_name=rdd.name,
+                        attempt=attempt,
+                        status="failed",
+                    )
+                )
+                continue
+            duration = time.perf_counter() - started
+            rows = output if isinstance(output, int) else (
+                len(output) if hasattr(output, "__len__") else -1
             )
-        )
-        return output
+            self.task_log.append(
+                TaskMetrics(
+                    stage_id=stage_id,
+                    task_id=task_id,
+                    partition=split,
+                    worker=worker,
+                    rows=rows,
+                    duration_seconds=duration,
+                    rdd_name=rdd.name,
+                    attempt=attempt,
+                )
+            )
+            return output
+        assert last_error is not None
+        raise last_error
+
+    def _next_worker(self) -> str:
+        """Round-robin placement, skipping blacklisted workers while at
+        least one healthy worker remains."""
+        for _ in range(len(self.workers)):
+            worker = next(self._worker_cycle)
+            if (
+                self._worker_failures.get(worker, 0)
+                < self.blacklist_after
+            ):
+                return worker
+        # Every worker is blacklisted: better to keep trying than to
+        # deadlock the job.
+        return next(self._worker_cycle)
 
     # -- reporting --------------------------------------------------------------------
 
@@ -184,6 +246,20 @@ class SparkContext:
             counts[metrics.worker] += 1
         return counts
 
+    def task_retries(self) -> int:
+        """Number of failed task attempts that were retried."""
+        return sum(
+            1 for metrics in self.task_log if metrics.status == "failed"
+        )
+
+    def blacklisted_workers(self) -> List[str]:
+        return sorted(
+            worker
+            for worker, failures in self._worker_failures.items()
+            if failures >= self.blacklist_after
+        )
+
     def reset_metrics(self) -> None:
         self.task_log.clear()
         self.stage_log.clear()
+        self._worker_failures.clear()

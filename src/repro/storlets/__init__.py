@@ -24,6 +24,7 @@ disk; PUT-path ETL storlets (cleansing, column splitting) live in
 from repro.storlets.api import (
     IStorlet,
     StorletException,
+    StorletFailure,
     StorletInputStream,
     StorletLogger,
     StorletOutputStream,
@@ -46,6 +47,7 @@ __all__ = [
     "SandboxStats",
     "StorletEngine",
     "StorletException",
+    "StorletFailure",
     "StorletInputStream",
     "StorletLogger",
     "StorletMiddleware",

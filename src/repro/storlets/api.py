@@ -15,6 +15,34 @@ class StorletException(Exception):
     """Raised by storlets on unrecoverable invocation errors."""
 
 
+class StorletFailure(StorletException):
+    """Infrastructure-side invocation failure, distinguishable from data
+    errors.
+
+    A storlet that *crashes*, blows its CPU budget, overruns its output
+    limit or misses its invocation deadline failed for reasons unrelated
+    to the data -- the same bytes fetched plainly are still good, so the
+    request path can degrade gracefully (plain GET + compute-side
+    filter) instead of failing the query.  ``reason`` is a stable token
+    (``crash``, ``cpu-exhausted``, ``output-limit``, ``deadline``,
+    ``injected``) the middleware forwards in the ``X-Storlet-Failure``
+    response header.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        storlet: str = "",
+        node: str = "",
+        reason: str = "crash",
+    ):
+        super().__init__(message)
+        self.storlet = storlet
+        self.node = node
+        self.reason = reason
+
+
 class StorletLogger:
     """Per-invocation log sink (real Storlets write to an object)."""
 

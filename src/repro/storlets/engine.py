@@ -17,6 +17,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro.storlets.api import (
     IStorlet,
     StorletException,
+    StorletFailure,
     StorletInputStream,
     StorletOutputStream,
 )
@@ -34,6 +35,11 @@ class StorletRequestHeaders:
     RANGE = "x-storlet-range"
     INVOKED = "x-storlet-invoked"
     BYPASS = "x-storlet-bypass"
+    #: Response headers set when an invocation fails at runtime; clients
+    #: use them to tell a degradable sandbox failure (crash, budget,
+    #: deadline) from a loud configuration error (no header at all).
+    FAILURE = "x-storlet-failure"
+    FAILURE_STORLET = "x-storlet-failure-storlet"
 
     @staticmethod
     def parameters_from(headers) -> Dict[str, str]:
@@ -76,6 +82,7 @@ class StorletEngine:
         cost_model: Optional[CostModel] = None,
         max_output_bytes: Optional[int] = None,
         max_cpu_seconds: Optional[float] = None,
+        max_wall_seconds: Optional[float] = None,
     ):
         self._registry: Dict[str, IStorlet] = {}
         self._sandboxes: Dict[str, Sandbox] = {}
@@ -83,6 +90,10 @@ class StorletEngine:
         self._cost_model = cost_model or CostModel()
         self._max_output_bytes = max_output_bytes
         self._max_cpu_seconds = max_cpu_seconds
+        self._max_wall_seconds = max_wall_seconds
+        #: Fault-injection hook ``(storlet, node, tier) -> None`` pushed
+        #: into every sandbox; may raise StorletFailure (chaos testing).
+        self.fault_hook = None
 
     # -- deployment ----------------------------------------------------------
 
@@ -121,8 +132,12 @@ class StorletEngine:
                 self._cost_model,
                 max_output_bytes=self._max_output_bytes,
                 max_cpu_seconds=self._max_cpu_seconds,
+                max_wall_seconds=self._max_wall_seconds,
             )
             self._sandboxes[node] = sandbox
+        # Re-applied on every lookup so a hook installed after sandboxes
+        # were warmed (or uninstalled mid-run) still takes effect.
+        sandbox.fault_hook = self.fault_hook
         return sandbox
 
     def all_sandboxes(self) -> Dict[str, Sandbox]:
@@ -293,16 +308,33 @@ class StorletMiddleware:
         }
         chunks = response.iter_body()
         output: Optional[StorletOutputStream] = None
-        for name in names:
-            storlet = self.engine.get(name)
-            sandbox = self.engine.sandbox_for(node)
-            output = sandbox.run(
-                storlet,
-                StorletInputStream(chunks, metadata),
-                parameters,
-                tier=self.tier,
+        try:
+            for name in names:
+                storlet = self.engine.get(name)
+                sandbox = self.engine.sandbox_for(node)
+                output = sandbox.run(
+                    storlet,
+                    StorletInputStream(chunks, metadata),
+                    parameters,
+                    tier=self.tier,
+                )
+                chunks = iter(output.chunks())
+        except StorletFailure as failure:
+            # Runtime sandbox failures (crash, budget, deadline,
+            # injected) are *degradable*: signal them in a response
+            # header so the client can retry the same bytes as a plain
+            # GET.  Configuration errors (storlet not deployed) raise
+            # plain StorletException and stay loud -- no header.
+            return Response(
+                500,
+                headers={
+                    StorletRequestHeaders.FAILURE: failure.reason,
+                    StorletRequestHeaders.FAILURE_STORLET: (
+                        failure.storlet or name
+                    ),
+                },
+                body=str(failure).encode("utf-8"),
             )
-            chunks = iter(output.chunks())
 
         assert output is not None
         headers = response.headers.copy()

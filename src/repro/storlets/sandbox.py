@@ -22,6 +22,7 @@ from typing import Dict, List, Optional
 from repro.storlets.api import (
     IStorlet,
     StorletException,
+    StorletFailure,
     StorletInputStream,
     StorletLogger,
     StorletOutputStream,
@@ -104,6 +105,7 @@ class Sandbox:
         memory_overhead: int = 512 * 2**20,
         max_output_bytes: Optional[int] = None,
         max_cpu_seconds: Optional[float] = None,
+        max_wall_seconds: Optional[float] = None,
     ):
         self.node = node
         self.cost_model = cost_model or CostModel()
@@ -112,6 +114,13 @@ class Sandbox:
         # runaway filters; ours enforces after the fact and errors).
         self.max_output_bytes = max_output_bytes
         self.max_cpu_seconds = max_cpu_seconds
+        # Invocation deadline (wall clock): a storlet that runs longer
+        # is treated as stalled and fails with a typed StorletFailure.
+        self.max_wall_seconds = max_wall_seconds
+        # Optional fault-injection hook consulted before each invocation
+        # (set by the chaos framework via the engine); may raise
+        # StorletFailure to emulate sandbox crashes / budget exhaustion.
+        self.fault_hook = None
         self.stats = SandboxStats()
         self.records: List[InvocationRecord] = []
         self._warm = False
@@ -138,16 +147,33 @@ class Sandbox:
         counting_in = _CountingInput(in_stream)
         started = time.perf_counter()
         try:
+            if self.fault_hook is not None:
+                self.fault_hook(storlet.name, self.node, tier)
             storlet.invoke([counting_in], [out_stream], dict(parameters), logger)
         except StorletException:
             self.stats.errors += 1
             raise
         except Exception as error:
             self.stats.errors += 1
-            raise StorletException(
-                f"{storlet.name} failed: {error}"
+            raise StorletFailure(
+                f"{storlet.name} failed: {error}",
+                storlet=storlet.name,
+                node=self.node,
+                reason="crash",
             ) from error
         wall = time.perf_counter() - started
+        if (
+            self.max_wall_seconds is not None
+            and wall > self.max_wall_seconds
+        ):
+            self.stats.errors += 1
+            raise StorletFailure(
+                f"{storlet.name} missed the invocation deadline: "
+                f"{wall:.4f} > {self.max_wall_seconds} seconds",
+                storlet=storlet.name,
+                node=self.node,
+                reason="deadline",
+            )
 
         bytes_in = counting_in.bytes_read
         bytes_out = out_stream.bytes_written
@@ -156,9 +182,12 @@ class Sandbox:
             and bytes_out > self.max_output_bytes
         ):
             self.stats.errors += 1
-            raise StorletException(
+            raise StorletFailure(
                 f"{storlet.name} exceeded the sandbox output limit: "
-                f"{bytes_out} > {self.max_output_bytes} bytes"
+                f"{bytes_out} > {self.max_output_bytes} bytes",
+                storlet=storlet.name,
+                node=self.node,
+                reason="output-limit",
             )
         cpu = self.cost_model.invocation_cost(
             bytes_in,
@@ -168,9 +197,12 @@ class Sandbox:
         )
         if self.max_cpu_seconds is not None and cpu > self.max_cpu_seconds:
             self.stats.errors += 1
-            raise StorletException(
+            raise StorletFailure(
                 f"{storlet.name} exceeded the sandbox CPU budget: "
-                f"{cpu:.4f} > {self.max_cpu_seconds} core-seconds"
+                f"{cpu:.4f} > {self.max_cpu_seconds} core-seconds",
+                storlet=storlet.name,
+                node=self.node,
+                reason="cpu-exhausted",
             )
         self.stats.invocations += 1
         self.stats.bytes_in += bytes_in

@@ -24,14 +24,18 @@ from repro.swift.exceptions import (
     ContainerNotEmpty,
     NotFound,
     RangeNotSatisfiable,
+    RequestTimeout,
+    ServiceUnavailable,
     SwiftError,
 )
 from repro.swift.http import HeaderDict, Request, Response
 from repro.swift.proxy import ProxyServer, SwiftCluster
+from repro.swift.retry import ClientStats, RetryPolicy
 from repro.swift.ring import Device, Ring, RingBuilder
 
 __all__ = [
     "AuthError",
+    "ClientStats",
     "ContainerNotEmpty",
     "Device",
     "HeaderDict",
@@ -39,9 +43,12 @@ __all__ = [
     "ProxyServer",
     "RangeNotSatisfiable",
     "Request",
+    "RequestTimeout",
     "Response",
+    "RetryPolicy",
     "Ring",
     "RingBuilder",
+    "ServiceUnavailable",
     "SwiftClient",
     "SwiftCluster",
     "SwiftError",

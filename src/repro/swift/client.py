@@ -2,11 +2,12 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.swift.exceptions import SwiftError
-from repro.swift.http import HeaderDict, Request, Response
+from repro.swift.http import HeaderDict, Request, Response, collect_body
 from repro.swift.proxy import SwiftCluster
+from repro.swift.retry import ClientStats, RetryPolicy
 
 
 class SwiftClient:
@@ -15,11 +16,27 @@ class SwiftClient:
     All methods raise :class:`SwiftError` subclasses on non-2xx statuses
     unless noted, mirroring python-swiftclient's ClientException
     behaviour.
+
+    Every request runs under ``retry_policy``: retryable statuses (503
+    from a flaky server, 504 from a stalled replica) are retried with
+    capped, deterministically-jittered exponential backoff, and a
+    per-request deadline travels with the request as
+    ``X-Request-Timeout``.  ``sleeper`` (e.g. ``time.sleep``) makes the
+    backoff real; by default it is only recorded in :attr:`stats`.
     """
 
-    def __init__(self, cluster: SwiftCluster, account: str = "AUTH_test"):
+    def __init__(
+        self,
+        cluster: SwiftCluster,
+        account: str = "AUTH_test",
+        retry_policy: Optional[RetryPolicy] = None,
+        sleeper: Optional[Callable[[float], None]] = None,
+    ):
         self.cluster = cluster
         self.account = account
+        self.retry_policy = retry_policy or RetryPolicy()
+        self._sleeper = sleeper
+        self.stats = ClientStats()
         self.put_account()
 
     # -- raw access --------------------------------------------------------
@@ -32,10 +49,34 @@ class SwiftClient:
         body: Union[bytes, Iterable[bytes], None] = None,
         params: Optional[Dict[str, str]] = None,
     ) -> Response:
+        policy = self.retry_policy
         merged = HeaderDict(headers or {})
         merged.setdefault("x-auth-token", f"token-{self.account}")
-        request = Request(method, path, merged, body, params)
-        return self.cluster.handle_request(request)
+        if policy.request_timeout is not None:
+            merged.setdefault(
+                "x-request-timeout", str(policy.request_timeout)
+            )
+        # A retry must be able to resend the body; materialize iterators.
+        if body is not None and not isinstance(body, bytes):
+            body = collect_body(body)
+
+        response: Optional[Response] = None
+        for attempt in range(policy.max_attempts):
+            request = Request(method, path, merged.copy(), body, params)
+            response = self.cluster.handle_request(request)
+            self.stats.requests += 1
+            if not policy.retryable(response.status):
+                return response
+            if attempt + 1 >= policy.max_attempts:
+                self.stats.exhausted += 1
+                return response
+            delay = policy.delay(attempt)
+            self.stats.retries += 1
+            self.stats.backoff_seconds += delay
+            if self._sleeper is not None:
+                self._sleeper(delay)
+        assert response is not None  # max_attempts >= 1
+        return response
 
     def _checked(self, response: Response, allowed=(200, 201, 202, 204, 206)):
         if response.status not in allowed:
@@ -44,6 +85,9 @@ class SwiftClient:
                 f"{response.read()[:200]!r}"
             )
             error.status = response.status
+            # Response headers carry failure context (e.g. which storlet
+            # crashed) that callers use for graceful degradation.
+            error.headers = response.headers
             raise error
         return response
 

@@ -4,9 +4,15 @@ from __future__ import annotations
 
 
 class SwiftError(Exception):
-    """Base class for object-store errors; carries an HTTP status code."""
+    """Base class for object-store errors; carries an HTTP status code.
+
+    Errors raised from a checked client response also carry the
+    response ``headers`` so callers can inspect failure context (e.g.
+    the ``X-Storlet-Failure`` marker that enables pushdown fallback).
+    """
 
     status = 500
+    headers = None
 
     def __init__(self, message: str = ""):
         super().__init__(message or self.__class__.__name__)
@@ -58,6 +64,18 @@ class ServiceUnavailable(SwiftError):
     status = 503
 
 
+class RequestTimeout(SwiftError):
+    """The backend exceeded the request's deadline (504).
+
+    Raised when a (possibly injected) stall outlasts the deadline the
+    client attached via the ``X-Request-Timeout`` header.  Retryable:
+    the proxy fails the GET over to the next replica and the client
+    backs off and retries the whole request.
+    """
+
+    status = 504
+
+
 STATUS_REASONS = {
     200: "OK",
     201: "Created",
@@ -71,4 +89,5 @@ STATUS_REASONS = {
     416: "Requested Range Not Satisfiable",
     500: "Internal Server Error",
     503: "Service Unavailable",
+    504: "Gateway Timeout",
 }

@@ -12,7 +12,7 @@ stores, and a set of proxies behind a round-robin "load balancer".
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Set
 
 from repro.swift.backend import (
     AccountStore,
@@ -23,6 +23,7 @@ from repro.swift.exceptions import (
     AuthError,
     BadRequest,
     NotFound,
+    RequestTimeout,
     ServiceUnavailable,
 )
 from repro.swift.http import HeaderDict, Request, Response, parse_path
@@ -81,14 +82,29 @@ class ProxyApp:
             request.headers.setdefault(
                 "x-timestamp", f"{next_timestamp():.9f}"
             )
+            # Write to every reachable replica; a failed device does not
+            # abort the PUT as long as at least one replica lands (the
+            # replicator restores the others later).
             response: Optional[Response] = None
+            stored = 0
             for device in devices:
                 replica_request = request.copy()
                 replica_request.body = data
-                response = cluster.send_to_device(device, replica_request)
+                try:
+                    response = cluster.send_to_device(device, replica_request)
+                except (ServiceUnavailable, RequestTimeout) as error:
+                    cluster.counters["put_degraded"] += 1
+                    if response is None:
+                        response = Response(
+                            error.status, body=str(error).encode("utf-8")
+                        )
+                    continue
                 if not response.ok:
                     return response
+                stored += 1
             assert response is not None
+            if stored == 0:
+                return response
             cluster.containers.add_object(
                 account,
                 container,
@@ -102,14 +118,24 @@ class ProxyApp:
             return response
 
         if request.method in ("GET", "HEAD"):
+            # Mid-request replica failover: a replica that is missing,
+            # erroring or stalled past its deadline does not fail the
+            # read -- the next replica in ring order is tried instead.
             last_error: Optional[Response] = None
             for device in self._replica_order(request, devices):
                 try:
                     response = cluster.send_to_device(device, request.copy())
                 except NotFound:
                     continue
+                except (ServiceUnavailable, RequestTimeout) as error:
+                    cluster.counters["get_failovers"] += 1
+                    last_error = Response(
+                        error.status, body=str(error).encode("utf-8")
+                    )
+                    continue
                 if response.ok or response.status in (206, 416):
                     return response
+                cluster.counters["get_failovers"] += 1
                 last_error = response
             if last_error is not None:
                 return last_error
@@ -282,21 +308,38 @@ class SwiftCluster:
 
         self.containers = ContainerStore()
         self.accounts = AccountStore()
+        #: Devices administratively failed via :meth:`fail_device`:
+        #: requests routed to them 503 (triggering replica failover) and
+        #: the replicator neither reads from nor resurrects data on them.
+        self.failed_devices: Set[int] = set()
+        #: Resilience observability: how often the data path had to work
+        #: around a fault.
+        self.counters: Dict[str, int] = {
+            "requests": 0,
+            "get_failovers": 0,
+            "put_degraded": 0,
+        }
         self._object_middleware = list(object_middleware)
         self._object_pipelines: Dict[str, App] = {
             name: build_pipeline(server, self._object_middleware)
             for name, server in self.object_servers.items()
         }
 
-        app = ProxyApp(self)
+        self._proxy_app = ProxyApp(self)
+        self._proxy_middleware = list(proxy_middleware)
+        self._proxy_count = max(1, proxy_count)
+        self._auth_enabled = auth_enabled
+        self._build_proxies()
+
+    def _build_proxies(self) -> None:
         self.proxies: List[ProxyServer] = [
             ProxyServer(
                 f"proxy{i}",
-                app,
-                middleware_factories=proxy_middleware,
-                auth_enabled=auth_enabled,
+                self._proxy_app,
+                middleware_factories=self._proxy_middleware,
+                auth_enabled=self._auth_enabled,
             )
-            for i in range(max(1, proxy_count))
+            for i in range(self._proxy_count)
         ]
         self._proxy_cycle = itertools.cycle(range(len(self.proxies)))
 
@@ -304,11 +347,16 @@ class SwiftCluster:
 
     def handle_request(self, request: Request) -> Response:
         """Entry through the load balancer: round-robin over proxies."""
+        self.counters["requests"] += 1
         proxy = self.proxies[next(self._proxy_cycle)]
         return proxy.handle(request)
 
     def send_to_device(self, device: Device, request: Request) -> Response:
         """Route a replica request into the owning node's object pipeline."""
+        if device.id in self.failed_devices:
+            raise ServiceUnavailable(
+                f"device {device.id} on {device.node} has failed"
+            )
         pipeline = self._object_pipelines.get(device.node)
         if pipeline is None:
             raise ServiceUnavailable(f"no object server for node {device.node!r}")
@@ -349,12 +397,16 @@ class SwiftCluster:
         return node_name
 
     def fail_device(self, device_id: int) -> None:
-        """Simulate a disk loss: wipe the store and drop it from the
-        builder (rebalance + refresh + replicate to recover)."""
+        """Simulate a disk loss: wipe the store, drop the device from the
+        builder and mark it failed (rebalance + refresh + replicate to
+        recover).  Until the ring is refreshed, requests routed to the
+        dead device 503 and fail over to surviving replicas; the
+        replicator will not resurrect data onto it."""
         for server in self.object_servers.values():
             if device_id in server.devices:
                 server.devices[device_id].clear()
         self.ring_builder.remove_device(device_id)
+        self.failed_devices.add(device_id)
 
     def install_object_middleware(self, factory: MiddlewareFactory) -> None:
         """Add a middleware to every object server's pipeline (innermost
@@ -364,6 +416,12 @@ class SwiftCluster:
             name: build_pipeline(server, self._object_middleware)
             for name, server in self.object_servers.items()
         }
+
+    def install_proxy_middleware(self, factory: MiddlewareFactory) -> None:
+        """Add a middleware to every proxy's pipeline (after auth) and
+        rebuild the proxy tier; used by the fault-injection framework."""
+        self._proxy_middleware.append(factory)
+        self._build_proxies()
 
     def total_object_count(self) -> int:
         return sum(server.object_count() for server in self.object_servers.values())

@@ -23,6 +23,20 @@ from repro.swift.http import parse_path
 from repro.swift.proxy import SwiftCluster
 
 
+class ReplicationStalled(RuntimeError):
+    """:meth:`Replicator.run_until_stable` exhausted its pass budget
+    while the cluster was still changing; carries the pass reports."""
+
+    def __init__(self, reports: List["ReplicationReport"]):
+        super().__init__(
+            f"replication did not converge within {len(reports)} passes "
+            f"(last pass still created {reports[-1].replicas_created}, "
+            f"updated {reports[-1].replicas_updated}, removed "
+            f"{reports[-1].replicas_removed} replicas)"
+        )
+        self.reports = reports
+
+
 @dataclass
 class ReplicationReport:
     """What one replication pass did."""
@@ -33,6 +47,9 @@ class ReplicationReport:
     replicas_removed: int = 0
     bytes_copied: int = 0
     partitions_touched: Set[int] = field(default_factory=set)
+    #: Set by :meth:`Replicator.run_until_stable` on the final report:
+    #: True when the pass budget ended with a no-op pass.
+    converged: bool = True
 
     @property
     def changed(self) -> bool:
@@ -90,42 +107,72 @@ class Replicator:
                     report.replicas_removed += 1
         return report
 
-    def run_until_stable(self, max_passes: int = 4) -> List[ReplicationReport]:
-        """Repeat passes until a pass changes nothing (or the cap hits)."""
-        reports = []
+    def run_until_stable(
+        self, max_passes: int = 4, raise_on_stalled: bool = True
+    ) -> List[ReplicationReport]:
+        """Repeat passes until a pass changes nothing.
+
+        When ``max_passes`` is exhausted while the cluster is *still
+        changing*, the non-convergence is never silent: the call raises
+        :class:`ReplicationStalled` (default), or -- with
+        ``raise_on_stalled=False`` -- marks the final report
+        ``converged=False`` so callers can react.
+        """
+        if max_passes < 1:
+            raise ValueError(f"max_passes must be >= 1: {max_passes}")
+        reports: List[ReplicationReport] = []
         for _pass in range(max_passes):
             report = self.run_once()
             reports.append(report)
             if not report.changed:
-                break
+                return reports
+        reports[-1].converged = False
+        if raise_on_stalled:
+            raise ReplicationStalled(reports)
         return reports
 
     # -- diagnostics ----------------------------------------------------------
 
     def audit(self) -> Dict[str, Tuple[int, int]]:
-        """``{path: (found_replicas, expected_replicas)}`` for every
-        under- or over-replicated object."""
+        """``{path: (assigned_replicas_found, expected_replicas)}`` for
+        every object whose replicas are not exactly where the ring
+        points.
+
+        Only copies on ring-*assigned* devices count as found, so data
+        parked on handoff devices (e.g. after ``fail_device`` +
+        rebalance, before the replicator moved it) shows up as
+        under-replication instead of being masked by the stray copies.
+        Paths that only exist as strays are reported too.
+        """
         ring = self.cluster.object_ring
         device_stores = self._device_stores()
-        counts: Dict[str, int] = {}
-        for store in device_stores.values():
+        placements: Dict[str, Set[int]] = {}
+        for device_id, store in device_stores.items():
             for path in store:
-                counts[path] = counts.get(path, 0) + 1
+                placements.setdefault(path, set()).add(device_id)
         problems = {}
-        for path, found in counts.items():
+        for path, holders in placements.items():
             account, container, obj = parse_path(path)
             _part, devices = ring.get_nodes(account, container, obj or "")
-            expected = len(devices)
-            if found != expected:
-                problems[path] = (found, expected)
+            assigned = {device.id for device in devices}
+            found = len(holders & assigned)
+            strays = len(holders - assigned)
+            if found != len(assigned) or strays:
+                problems[path] = (found, len(assigned))
         return problems
 
     # -- helpers ----------------------------------------------------------------
 
     def _device_stores(self) -> Dict[int, Dict[str, StoredObject]]:
+        """All live device stores; failed devices are excluded so the
+        replicator never resurrects data onto a dead disk (nor treats
+        its wiped store as a replica source)."""
+        failed = getattr(self.cluster, "failed_devices", set())
         stores: Dict[int, Dict[str, StoredObject]] = {}
         for server in self.cluster.object_servers.values():
-            stores.update(server.devices)
+            for device_id, store in server.devices.items():
+                if device_id not in failed:
+                    stores[device_id] = store
         return stores
 
     @staticmethod

@@ -1,0 +1,114 @@
+"""Chaos suite: GridPocket queries under seeded fault plans.
+
+Acceptance criteria for the resilient data path:
+
+* every Table-I query returns byte-identical results under each fault
+  plan vs. the fault-free run;
+* the storlet-crash plan forces graceful degradation
+  (``pushdown_fallbacks > 0``);
+* retries stay within the configured budget (no unbounded retry);
+* the whole fault sequence is deterministic: same seed + same plan =>
+  same injected faults and same retry counters.
+
+The seed can be varied from the environment (``REPRO_CHAOS_SEED``) so CI
+can sweep several fault sequences.
+"""
+
+import os
+
+import pytest
+
+from repro.core import ScoopContext
+from repro.faults import named_plan
+from repro.gridpocket import DatasetSpec, METER_SCHEMA, upload_dataset
+from repro.gridpocket.queries import GRIDPOCKET_QUERIES
+from repro.swift.retry import RetryPolicy
+
+CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "20170417"))
+CHAOS_SPEC = DatasetSpec(meters=12, intervals=64, objects=3)
+FAULT_PLANS = ("device-loss", "flaky-object", "storlet-crash")
+
+
+def run_workload(fault_plan=None, seed=CHAOS_SEED):
+    """Upload the dataset and run all Table-I queries; returns the
+    context and per-query results."""
+    ctx = ScoopContext(
+        chunk_size=48 * 1024,
+        retry_policy=RetryPolicy(seed=seed),
+        fault_plan=named_plan(fault_plan, seed=seed) if fault_plan else None,
+    )
+    upload_dataset(ctx.client, "meters", CHAOS_SPEC)
+    ctx.register_csv_table("largeMeter", "meters", schema=METER_SCHEMA)
+    results = {}
+    for query in GRIDPOCKET_QUERIES:
+        frame, _report = ctx.run_query(query.sql("largeMeter"))
+        results[query.name] = frame.collect()
+    return ctx, results
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    _ctx, results = run_workload(fault_plan=None)
+    return results
+
+
+class TestChaosCorrectness:
+    @pytest.mark.parametrize("plan_name", FAULT_PLANS)
+    def test_results_identical_under_faults(self, plan_name, baseline):
+        ctx, results = run_workload(fault_plan=plan_name)
+        for name, rows in baseline.items():
+            assert results[name] == rows, (
+                f"query {name} diverged under plan {plan_name!r}"
+            )
+        # The plan actually did something.
+        assert ctx.fault_plan.fired() > 0
+
+    @pytest.mark.parametrize("plan_name", FAULT_PLANS)
+    def test_retries_stay_within_budget(self, plan_name):
+        ctx, _results = run_workload(fault_plan=plan_name)
+        stats = ctx.client.stats
+        policy = ctx.client.retry_policy
+        # Each logical operation retries at most max_attempts - 1 times.
+        assert stats.retries <= (policy.max_attempts - 1) * stats.requests
+        # Nothing ran out of attempts (the plans are survivable).
+        assert stats.exhausted == 0
+        # Task-level retry is bounded by the scheduler's attempt budget.
+        task_attempts = {}
+        for metrics in ctx.spark_context.task_log:
+            key = (metrics.stage_id, metrics.task_id)
+            task_attempts[key] = max(
+                task_attempts.get(key, 0), metrics.attempt
+            )
+        assert all(
+            attempts <= ctx.spark_context.max_task_attempts
+            for attempts in task_attempts.values()
+        )
+
+    def test_storlet_crash_plan_degrades_gracefully(self):
+        ctx, _results = run_workload(fault_plan="storlet-crash")
+        assert ctx.connector.metrics.pushdown_fallbacks > 0
+        assert ctx.fault_plan.fired("storlet-fault") > 0
+
+    def test_flaky_object_plan_exercises_failover_or_retry(self):
+        ctx, _results = run_workload(fault_plan="flaky-object")
+        summary = ctx.resilience_summary()
+        assert summary["get_failovers"] + summary["client_retries"] > 0
+
+    def test_device_loss_plan_loses_devices(self):
+        ctx, _results = run_workload(fault_plan="device-loss")
+        assert ctx.cluster.failed_devices
+
+
+class TestChaosDeterminism:
+    @pytest.mark.parametrize("plan_name", FAULT_PLANS)
+    def test_same_seed_same_faults_and_counters(self, plan_name):
+        first_ctx, first_results = run_workload(fault_plan=plan_name)
+        second_ctx, second_results = run_workload(fault_plan=plan_name)
+        assert (
+            first_ctx.fault_plan.fingerprint()
+            == second_ctx.fault_plan.fingerprint()
+        )
+        assert first_results == second_results
+        first_summary = first_ctx.resilience_summary()
+        second_summary = second_ctx.resilience_summary()
+        assert first_summary == second_summary

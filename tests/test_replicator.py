@@ -3,7 +3,7 @@
 import pytest
 
 from repro.swift import SwiftClient, SwiftCluster
-from repro.swift.replicator import Replicator
+from repro.swift.replicator import ReplicationStalled, Replicator
 
 
 @pytest.fixture
@@ -119,6 +119,55 @@ class TestHandoff:
         assert Replicator(cluster).audit() == {}
 
 
+class TestConvergenceReporting:
+    def test_stalled_budget_raises(self, rig):
+        """Exhausting the pass budget while the cluster is still
+        changing must never be silent."""
+        cluster, _client = rig
+        victim = next(iter(cluster.object_servers.values()))
+        for store in victim.devices.values():
+            store.clear()
+        with pytest.raises(ReplicationStalled) as exc_info:
+            Replicator(cluster).run_until_stable(max_passes=1)
+        reports = exc_info.value.reports
+        assert reports[-1].converged is False
+        assert reports[-1].changed
+
+    def test_stalled_budget_flag_mode(self, rig):
+        cluster, _client = rig
+        victim = next(iter(cluster.object_servers.values()))
+        for store in victim.devices.values():
+            store.clear()
+        reports = Replicator(cluster).run_until_stable(
+            max_passes=1, raise_on_stalled=False
+        )
+        assert reports[-1].converged is False
+
+    def test_converged_run_is_marked(self, rig):
+        cluster, _client = rig
+        reports = Replicator(cluster).run_until_stable()
+        assert reports[-1].converged is True
+
+    def test_zero_passes_rejected(self, rig):
+        cluster, _client = rig
+        with pytest.raises(ValueError):
+            Replicator(cluster).run_until_stable(max_passes=0)
+
+    def test_no_resurrection_onto_failed_device(self, rig):
+        """The replicator must not copy data back onto a device that was
+        administratively failed (its store stays empty until the device
+        is replaced)."""
+        cluster, _client = rig
+        victim_device = next(iter(cluster.object_ring.devices))
+        cluster.fail_device(victim_device)
+        # No rebalance/refresh yet: the ring still assigns the dead
+        # device, which is exactly when naive repair would resurrect it.
+        Replicator(cluster).run_until_stable(raise_on_stalled=False)
+        for server in cluster.object_servers.values():
+            if victim_device in server.devices:
+                assert server.devices[victim_device] == {}
+
+
 class TestAudit:
     def test_audit_reports_underreplication(self, rig):
         cluster, _client = rig
@@ -131,6 +180,31 @@ class TestAudit:
         ]
         problems = Replicator(cluster).audit()
         assert problems == {"/AUTH_rep/c/obj-005": (2, 3)}
+
+    def test_audit_counts_only_assigned_devices_after_failure(self, rig):
+        """Copies parked on handoff devices (after ``fail_device`` +
+        rebalance) must show up as under-replication, not be masked by
+        the stray copies."""
+        cluster, _client = rig
+        victim_device = next(iter(cluster.object_ring.devices))
+        cluster.fail_device(victim_device)
+        cluster.ring_builder.rebalance()
+        cluster.refresh_ring()
+        replicator = Replicator(cluster)
+        problems = replicator.audit()
+        # The rebalance moved assignments: at least some objects now
+        # have copies on no-longer-assigned devices and/or miss copies
+        # on newly-assigned ones -- the audit must surface them...
+        assert problems
+        assert all(
+            found <= expected for found, expected in problems.values()
+        )
+        assert any(
+            found < expected for found, expected in problems.values()
+        )
+        # ...and the replicator must clear every one of them.
+        replicator.run_until_stable()
+        assert replicator.audit() == {}
 
 
 class TestConvergenceProperty:

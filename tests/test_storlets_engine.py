@@ -302,4 +302,6 @@ class TestSandboxAccounting:
             sandbox.stats.errors
             for sandbox in engine.all_sandboxes().values()
         )
-        assert errors == 1
+        # A runtime storlet failure triggers replica failover, so the
+        # crash is retried once per replica before surfacing.
+        assert errors == 3
