@@ -3,12 +3,14 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.core.pushdown import PushdownTask
+from repro.storlets.api import StorletFailure, StorletInputStream
 from repro.storlets.engine import StorletRequestHeaders
 from repro.swift.client import SwiftClient
 from repro.swift.exceptions import RangeNotSatisfiable, SwiftError
+from repro.swift.http import HeaderDict
 
 
 class PushdownError(SwiftError):
@@ -87,11 +89,19 @@ class TransferMetrics:
     pushdown_fallbacks: int = 0
 
     def record(self, transferred: int, requested: int, pushdown: bool) -> None:
+        self.record_request(requested, pushdown)
+        self.record_bytes(transferred)
+
+    def record_request(self, requested: int, pushdown: bool) -> None:
+        """Charge one store round-trip covering ``requested`` bytes."""
         self.requests += 1
-        self.bytes_transferred += transferred
         self.bytes_requested += requested
         if pushdown:
             self.pushdown_requests += 1
+
+    def record_bytes(self, transferred: int) -> None:
+        """Charge bytes as they cross the wire, one chunk at a time."""
+        self.bytes_transferred += transferred
 
     def record_fallback(self) -> None:
         self.pushdown_fallbacks += 1
@@ -168,15 +178,21 @@ class StocatorConnector:
 
     # -- split reads --------------------------------------------------------
 
-    def read_split_raw(
+    def open_split_stream(
         self, split: ObjectSplit, task: Optional[PushdownTask] = None
-    ) -> bytes:
-        """Fetch a split's data.
+    ) -> Tuple[HeaderDict, Iterator[bytes]]:
+        """Open a split read as ``(headers, chunk iterator)``.
 
-        With a pushdown task: one storlet GET returns the already
+        With a pushdown task: one storlet GET streams the already
         filtered, record-aligned data for the split.  Without: the raw
-        byte range (plus lookahead) is transferred and the caller aligns
-        records client-side via :meth:`read_split_records`.
+        byte range (plus lookahead) streams through and the caller
+        aligns records client-side via :meth:`read_split_records`.
+
+        Configuration and replica-exhaustion failures surface *at open
+        time* (the proxy tries every replica before answering), so
+        callers can still degrade to a plain read before consuming any
+        data.  Bytes are charged to :attr:`metrics` per chunk as the
+        stream is consumed, never all at once.
         """
         if task is not None and not task.is_noop():
             headers: Dict[str, str] = {}
@@ -185,7 +201,7 @@ class StocatorConnector:
                 f"bytes={split.start}-{split.end}"
             )
             try:
-                response_headers, body = self.client.get_object(
+                response = self.client.get_object_stream(
                     split.container, split.name, headers=headers
                 )
             except SwiftError as error:
@@ -219,7 +235,7 @@ class StocatorConnector:
                     reason=f"http-{error.status}",
                     degradable=False,
                 ) from error
-            if StorletRequestHeaders.INVOKED not in response_headers:
+            if StorletRequestHeaders.INVOKED not in response.headers:
                 # Nothing intercepted the request: the store has no
                 # storlet engine (or the filter is not deployed).  Parsing
                 # raw data with the pruned schema would silently corrupt
@@ -236,20 +252,68 @@ class StocatorConnector:
                     reason="not-executed",
                     degradable=False,
                 )
-            self.metrics.record(len(body), split.length, pushdown=True)
-            return body
+            self.metrics.record_request(split.length, pushdown=True)
+            return response.headers, self._metered(
+                response.iter_body(), split, task
+            )
 
         end = min(split.end + self.range_lookahead, split.object_size - 1)
         try:
-            _response_headers, body = self.client.get_object(
+            response = self.client.get_object_stream(
                 split.container,
                 split.name,
                 byte_range=(split.start, end),
             )
         except RangeNotSatisfiable:
-            body = b""
-        self.metrics.record(len(body), split.length, pushdown=False)
-        return body
+            self.metrics.record_request(split.length, pushdown=False)
+            return HeaderDict(), iter(())
+        self.metrics.record_request(split.length, pushdown=False)
+        return response.headers, self._metered(
+            response.iter_body(), split, None
+        )
+
+    def _metered(
+        self,
+        chunks: Iterable[bytes],
+        split: ObjectSplit,
+        task: Optional[PushdownTask],
+    ) -> Iterator[bytes]:
+        """Charge transferred bytes chunk-by-chunk as they are consumed.
+
+        A storlet failure surfacing *mid-stream* (the sandbox charges
+        budgets per chunk, so a CPU or output limit can trip after the
+        first bytes flowed) is re-raised as a degradable
+        :class:`PushdownError` so the caller's fallback path still
+        engages.
+        """
+        storlet = task.storlet if task is not None else ""
+        try:
+            for chunk in chunks:
+                self.metrics.record_bytes(len(chunk))
+                yield chunk
+        except StorletFailure as failure:
+            raise PushdownError(
+                f"pushdown storlet {storlet!r} failed mid-stream "
+                f"({failure.reason}) for /{split.container}/{split.name} "
+                f"bytes {split.start}-{split.end}: {failure}",
+                container=split.container,
+                name=split.name,
+                byte_range=(split.start, split.end),
+                storlet=storlet,
+                reason=failure.reason,
+                degradable=True,
+            ) from failure
+
+    def read_split_raw(
+        self, split: ObjectSplit, task: Optional[PushdownTask] = None
+    ) -> bytes:
+        """Fetch a split's data fully materialized.
+
+        Convenience wrapper over :meth:`open_split_stream` for callers
+        that need the whole payload at once (e.g. aggregation partials).
+        """
+        _headers, chunks = self.open_split_stream(split, task)
+        return b"".join(chunks)
 
     def read_split_records(self, split: ObjectSplit) -> Iterator[bytes]:
         """Plain (no pushdown) read yielding the records the split owns.
@@ -257,14 +321,14 @@ class StocatorConnector:
         Implements the same Hadoop split ownership rule as the storlet:
         skip the partial first record unless the split starts the object;
         own every record starting before the split end; finish the last
-        owned record from the lookahead bytes.
+        owned record from the lookahead bytes.  Chunks are pulled from
+        the store on demand: once the last owned record completes, no
+        further lookahead bytes cross the wire.
         """
         from repro.storlets.csv_storlet import _owned_lines
-        from repro.storlets.api import StorletInputStream
 
-        body = self.read_split_raw(split, task=None)
-        stream = StorletInputStream([body] if body else [])
-        return _owned_lines(stream, split.start, split.length)
+        _headers, chunks = self.open_split_stream(split, task=None)
+        return _owned_lines(StorletInputStream(chunks), split.start, split.length)
 
     # -- uploads -----------------------------------------------------------------
 

@@ -7,6 +7,14 @@ operations a user of Scoop performs: upload data (optionally through an
 ETL policy), register it as a SQL table with or without pushdown, and
 run queries while observing how many bytes crossed the inter-cluster
 boundary.
+
+The data plane underneath is fully streaming (see docs/data_plane.md):
+disk chunks flow through the pipelined storlet stages, the proxy, the
+client, the connector and the Spark scan as bounded-size iterators, and
+above the connector as fixed-size record batches.  Consequently
+``bytes_transferred`` charges only chunks actually consumed -- a
+satisfied ``LIMIT`` abandons the in-flight GETs and transfers strictly
+fewer bytes than the same query without it.
 """
 
 from __future__ import annotations
@@ -180,7 +188,13 @@ class ScoopContext:
         return self.session.sql(text)
 
     def run_query(self, text: str) -> Tuple[DataFrame, QueryRunReport]:
-        """Execute a query and report its ingestion cost."""
+        """Execute a query and report its ingestion cost.
+
+        ``collect()`` drains the streaming scan inside the metering
+        window, so the report reflects exactly the chunks the query
+        pulled across the boundary: early-terminating plans (LIMIT
+        without ORDER BY) stop their GETs and are charged accordingly.
+        """
         metrics = self.connector.metrics
         before = (
             metrics.requests,

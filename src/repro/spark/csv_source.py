@@ -13,13 +13,15 @@ from __future__ import annotations
 
 from typing import Iterator, List, Optional, Sequence
 
+import zlib
+
 from repro.connector.stocator import (
     ObjectSplit,
     PushdownError,
     StocatorConnector,
 )
 from repro.core.pushdown import PushdownTask
-from repro.sql.filters import Filter
+from repro.sql.filters import Filter, conjunction_predicate
 from repro.sql.types import DataType, Field, Row, Schema
 from repro.spark.datasources import PrunedFilteredScan
 from repro.spark.rdd import RDD
@@ -52,83 +54,85 @@ class CsvScanRDD(RDD[Row]):
         self.has_header = has_header
         self.delimiter = delimiter
         self.drop_malformed = drop_malformed
-        if task is not None and not task.is_noop():
-            self._projection = None  # storlet already projected
-        elif len(output_schema) != len(full_schema):
-            self._projection = [
-                full_schema.index_of(name) for name in output_schema.names
-            ]
-        else:
-            self._projection = None
 
     def num_partitions(self) -> int:
         return len(self.splits)
 
     def compute(self, split_index: int) -> Iterator[Row]:
         split = self.splits[split_index]
-        pushdown = self.task is not None and not self.task.is_noop()
-        if pushdown:
-            try:
-                body = self.connector.read_split_raw(split, self.task)
-            except PushdownError as error:
-                if not error.degradable:
-                    raise
-                # The storlet failed at runtime on every replica but the
-                # stored bytes are intact: degrade to a plain ranged GET
-                # and filter/project on the compute side.  The session's
-                # executor re-applies the full logical plan over scan
-                # rows, so results are identical to the pushdown path.
-                self.connector.metrics.record_fallback()
-                yield from self._plain_rows(split)
-                return
-            if self.task.compress and body:
-                from repro.storlets.compress_storlet import decompress_bytes
-
-                body = decompress_bytes(body)
-            lines = _owned_lines(
-                StorletInputStream([body] if body else []), 0, None
-            )
-            parse_schema = self.output_schema
-            skip_header = False
-        else:
+        if self.task is None or self.task.is_noop():
             yield from self._plain_rows(split)
             return
-
-        for raw_line in lines:
-            if skip_header:
-                skip_header = False
+        emitted = 0
+        try:
+            for row in self._pushdown_rows(split):
+                emitted += 1
+                yield row
+            return
+        except PushdownError as error:
+            if not error.degradable:
+                raise
+        # The storlet failed at runtime (possibly mid-stream, since the
+        # sandbox charges its budgets chunk-by-chunk) but the stored
+        # bytes are intact: degrade to a plain ranged GET with the
+        # task's filters applied compute-side.  That makes the fallback
+        # row stream identical to the pushdown stream, so rows already
+        # emitted before the failure are skipped, not duplicated.
+        self.connector.metrics.record_fallback()
+        skipped = 0
+        for row in self._plain_rows(split, apply_task_filters=True):
+            if skipped < emitted:
+                skipped += 1
                 continue
+            yield row
+
+    def _pushdown_rows(self, split: ObjectSplit) -> Iterator[Row]:
+        """Stream a split through the pushdown storlet, chunk by chunk.
+
+        The storlet already aligned records, applied the filters and
+        projected the columns, so parsing uses the output schema and no
+        header or split-ownership handling is needed.
+        """
+        assert self.task is not None
+        _headers, chunks = self.connector.open_split_stream(split, self.task)
+        if self.task.compress:
+            chunks = _decompress_chunks(chunks)
+        lines = _owned_lines(StorletInputStream(chunks), 0, None)
+        for raw_line in lines:
             fields = _parse_record(raw_line, self.delimiter)
-            if fields is None or len(fields) != len(parse_schema):
+            if fields is None or len(fields) != len(self.output_schema):
                 if self.drop_malformed:
                     continue
                 raise ValueError(f"malformed CSV record: {raw_line[:120]!r}")
             try:
-                row = parse_schema.parse_row(fields)
+                yield self.output_schema.parse_row(fields)
             except (ValueError, TypeError):
                 if self.drop_malformed:
                     continue
                 raise
-            if self._projection is not None:
-                row = tuple(row[index] for index in self._projection)
-            yield row
 
-    def _plain_rows(self, split: ObjectSplit) -> Iterator[Row]:
+    def _plain_rows(
+        self, split: ObjectSplit, apply_task_filters: bool = False
+    ) -> Iterator[Row]:
         """Read a split without pushdown: plain ranged GET, record
-        alignment and projection on the compute side.
+        alignment and projection on the compute side, all streaming.
 
         Used for pushdown-disabled scans and as the graceful-degradation
-        path after a runtime storlet failure.  WHERE filters are NOT
-        applied here; the session executor re-applies the plan's filter
-        nodes over scan rows, so unfiltered rows remain correct.
+        path after a runtime storlet failure.  For plain scans WHERE
+        filters are NOT applied here; the session executor re-applies
+        the plan's filter nodes over scan rows, so unfiltered rows
+        remain correct.  The degradation path passes
+        ``apply_task_filters=True`` so its row stream matches the
+        pushdown stream exactly (required for mid-stream resume); the
+        executor's re-applied filters are idempotent over it.
         """
-        body = self.connector.read_split_raw(split, None)
-        lines = _owned_lines(
-            StorletInputStream([body] if body else []),
-            split.start,
-            split.length,
-        )
+        lines = self.connector.read_split_records(split)
         skip_header = self.has_header and split.is_first
+        predicate = None
+        if apply_task_filters and self.task is not None and self.task.filters:
+            predicate = conjunction_predicate(
+                self.task.filters, self.full_schema
+            )
         if len(self.output_schema) != len(self.full_schema):
             projection = [
                 self.full_schema.index_of(name)
@@ -151,9 +155,24 @@ class CsvScanRDD(RDD[Row]):
                 if self.drop_malformed:
                     continue
                 raise
+            if predicate is not None and not predicate(row):
+                continue
             if projection is not None:
                 row = tuple(row[index] for index in projection)
             yield row
+
+
+def _decompress_chunks(chunks: Iterator[bytes]) -> Iterator[bytes]:
+    """Streaming inverse of the compress-after-filter storlet: expand a
+    zlib stream chunk-by-chunk without materializing either side."""
+    decompressor = zlib.decompressobj()
+    for chunk in chunks:
+        data = decompressor.decompress(chunk)
+        if data:
+            yield data
+    tail = decompressor.flush()
+    if tail:
+        yield tail
 
 
 class CsvRelation(PrunedFilteredScan):

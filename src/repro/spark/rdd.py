@@ -24,6 +24,8 @@ from typing import (
     TypeVar,
 )
 
+from repro.spark.batch import DEFAULT_BATCH_ROWS, RecordBatch, batched
+
 T = TypeVar("T")
 U = TypeVar("U")
 K = TypeVar("K")
@@ -105,6 +107,19 @@ class RDD(Generic[T]):
                 self._cache[split] = list(self.compute(split))
             return iter(self._cache[split])
         return self.compute(split)
+
+    def compute_batches(
+        self, split: int, batch_rows: int = DEFAULT_BATCH_ROWS
+    ) -> Iterator[RecordBatch]:
+        """Compute one partition as bounded :class:`RecordBatch`es.
+
+        The default re-chunks :meth:`iterator` lazily, so a streaming
+        ``compute`` keeps its O(batch) memory profile and a cached RDD
+        reads from its cache.  Tasks pull batches one at a time, which
+        is what lets LIMIT-style early termination stop the scan (and
+        the underlying GET) mid-partition.
+        """
+        return batched(self.iterator(split), batch_rows)
 
     # -- transformations (lazy) -----------------------------------------------
 

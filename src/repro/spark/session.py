@@ -113,9 +113,14 @@ class SparkSession:
         self.last_pushdown = spec
 
         rdd, scan_schema = self._plan_scan(relation, base_schema, spec)
-        rows = rdd.collect()
         plan = Optimizer().optimize(build_logical_plan(query, scan_schema))
-        return execute_plan(plan, lambda: iter(rows), scan_schema)
+        # The scan streams: the executor pulls record batches through the
+        # scheduler on demand, so non-blocking plans (scan/filter/project/
+        # limit) never materialize a partition, and a satisfied LIMIT
+        # stops the remaining tasks -- and their GETs -- entirely.
+        return execute_plan(
+            plan, lambda: self.context.iter_rows(rdd), scan_schema
+        )
 
     def _plan_scan(
         self, relation: BaseRelation, base_schema: Schema, spec: PushdownSpec

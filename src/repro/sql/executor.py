@@ -87,8 +87,9 @@ def execute_query(
     """Parse, optimize and execute SQL over in-memory rows."""
     query = parse_query(text)
     plan = Optimizer().optimize(build_logical_plan(query, schema))
-    materialized = list(rows)
-    return execute_plan(plan, lambda: iter(materialized), schema)
+    # A plan's compiled tree calls its source factory exactly once per
+    # execution, so a one-shot iterator is a valid (and lazy) source.
+    return execute_plan(plan, lambda: iter(rows), schema)
 
 
 # --------------------------------------------------------------------------

@@ -135,9 +135,24 @@ class StorletOutputStream:
 class IStorlet:
     """Base class for storlets.
 
-    Subclasses override :meth:`invoke`; ``parameters`` arrive as a flat
-    string map decoded from the request's ``X-Storlet-Parameter-*``
-    headers.
+    Subclasses override either interface; ``parameters`` arrive as a
+    flat string map decoded from the request's ``X-Storlet-Parameter-*``
+    headers:
+
+    * :meth:`process` -- the streaming interface: consume ``in_stream``
+      and *yield* output chunks.  Chunks flow through the sandbox (and
+      any downstream storlets in the pipeline) as they are produced, so
+      memory stays O(chunk size) regardless of object size.  Metadata
+      the storlet wants to emit goes into the mutable ``metadata`` dict;
+      it must be complete by the time the generator is exhausted.
+    * :meth:`invoke` -- the legacy push interface over explicit
+      input/output streams.  An invoke-only storlet materializes its
+      whole output before the first byte leaves the sandbox, so only
+      genuinely blocking transformations (e.g. full aggregation) should
+      stay on it.
+
+    Each default implementation bridges to the other, so implementing
+    one is enough.
     """
 
     #: Stable name used for deployment/invocation headers.
@@ -150,7 +165,41 @@ class IStorlet:
         parameters: Dict[str, str],
         logger: StorletLogger,
     ) -> None:
-        raise NotImplementedError
+        if type(self).process is IStorlet.process:
+            raise NotImplementedError(
+                f"{type(self).__name__} implements neither invoke() nor "
+                "process()"
+            )
+        out_stream = out_streams[0]
+        for chunk in self.process(
+            in_streams[0], parameters, logger, out_stream.metadata
+        ):
+            out_stream.write(chunk)
+        out_stream.close()
+
+    def process(
+        self,
+        in_stream: StorletInputStream,
+        parameters: Dict[str, str],
+        logger: StorletLogger,
+        metadata: Dict[str, str],
+    ) -> Iterator[bytes]:
+        if type(self).invoke is IStorlet.invoke:
+            raise NotImplementedError(
+                f"{type(self).__name__} implements neither invoke() nor "
+                "process()"
+            )
+
+        def bridge() -> Iterator[bytes]:
+            # Legacy storlets push into an output stream; buffer it and
+            # replay the chunks (an invoke-only storlet is blocking by
+            # construction).
+            out_stream = StorletOutputStream()
+            self.invoke([in_stream], [out_stream], parameters, logger)
+            metadata.update(out_stream.metadata)
+            yield from out_stream.chunks()
+
+        return bridge()
 
     def describe(self) -> Dict[str, Any]:
         """Deployment metadata stored alongside the storlet object."""

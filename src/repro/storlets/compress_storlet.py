@@ -13,14 +13,13 @@ regime without giving up row-level pushdown.
 from __future__ import annotations
 
 import zlib
-from typing import Dict, List
+from typing import Dict, Iterator
 
 from repro.storlets.api import (
     IStorlet,
     StorletException,
     StorletInputStream,
     StorletLogger,
-    StorletOutputStream,
 )
 
 
@@ -36,14 +35,13 @@ class CompressStorlet(IStorlet):
 
     CHUNK = 256 * 1024
 
-    def invoke(
+    def process(
         self,
-        in_streams: List[StorletInputStream],
-        out_streams: List[StorletOutputStream],
+        in_stream: StorletInputStream,
         parameters: Dict[str, str],
         logger: StorletLogger,
-    ) -> None:
-        in_stream, out_stream = in_streams[0], out_streams[0]
+        metadata: Dict[str, str],
+    ) -> Iterator[bytes]:
         level = int(parameters.get("level", "6"))
         if not 1 <= level <= 9:
             raise StorletException(f"zlib level must be 1..9: {level}")
@@ -55,20 +53,17 @@ class CompressStorlet(IStorlet):
             compressed = compressor.compress(chunk)
             if compressed:
                 bytes_out += len(compressed)
-                out_stream.write(compressed)
+                yield compressed
         tail = compressor.flush()
         if tail:
             bytes_out += len(tail)
-            out_stream.write(tail)
-        out_stream.set_metadata(
-            {"x-object-meta-storlet-content-encoding": "zlib"}
-        )
+            yield tail
+        metadata["x-object-meta-storlet-content-encoding"] = "zlib"
         ratio = bytes_out / bytes_in if bytes_in else 1.0
         logger.emit(
             f"zlibcompress: {bytes_in} -> {bytes_out} bytes "
             f"(ratio {ratio:.2f})"
         )
-        out_stream.close()
 
 
 class DecompressStorlet(IStorlet):
@@ -77,26 +72,24 @@ class DecompressStorlet(IStorlet):
 
     name = "zlibdecompress"
 
-    def invoke(
+    def process(
         self,
-        in_streams: List[StorletInputStream],
-        out_streams: List[StorletOutputStream],
+        in_stream: StorletInputStream,
         parameters: Dict[str, str],
         logger: StorletLogger,
-    ) -> None:
-        in_stream, out_stream = in_streams[0], out_streams[0]
+        metadata: Dict[str, str],
+    ) -> Iterator[bytes]:
         decompressor = zlib.decompressobj()
         try:
             for chunk in in_stream.iter_chunks():
                 expanded = decompressor.decompress(chunk)
                 if expanded:
-                    out_stream.write(expanded)
+                    yield expanded
             tail = decompressor.flush()
         except zlib.error as error:
             raise StorletException(f"invalid zlib stream: {error}") from error
         if tail:
-            out_stream.write(tail)
-        out_stream.close()
+            yield tail
 
 
 def decompress_bytes(data: bytes) -> bytes:

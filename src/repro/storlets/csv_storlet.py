@@ -33,7 +33,6 @@ from repro.storlets.api import (
     StorletException,
     StorletInputStream,
     StorletLogger,
-    StorletOutputStream,
 )
 
 
@@ -66,17 +65,13 @@ class CsvStorlet(IStorlet):
 
     OUTPUT_CHUNK = 64 * 1024
 
-    def invoke(
+    def process(
         self,
-        in_streams: List[StorletInputStream],
-        out_streams: List[StorletOutputStream],
+        in_stream: StorletInputStream,
         parameters: Dict[str, str],
         logger: StorletLogger,
-    ) -> None:
-        if not in_streams or not out_streams:
-            raise StorletException("CsvStorlet needs one input and one output")
-        in_stream, out_stream = in_streams[0], out_streams[0]
-
+        metadata: Dict[str, str],
+    ) -> Iterator[bytes]:
         schema_text = parameters.get("schema")
         if not schema_text:
             raise StorletException("CsvStorlet requires a 'schema' parameter")
@@ -91,11 +86,9 @@ class CsvStorlet(IStorlet):
             columns = sorted(schema.index_of(name) for name in names)
 
         predicate = None
-        needs_typed_row = False
         if parameters.get("filters"):
             filters = filters_from_json(parameters["filters"])
             predicate = conjunction_predicate(filters, schema)
-            needs_typed_row = True
 
         range_start = int(parameters.get("range_start", 0))
         range_len_text = parameters.get("range_len")
@@ -104,76 +97,86 @@ class CsvStorlet(IStorlet):
         emit_header = parameters.get("emit_header", "false").lower() == "true"
         covers_start = range_start == 0
 
-        rows_in = 0
-        rows_out = 0
-        pending: List[bytes] = []
-        pending_size = 0
+        counters = {"rows_in": 0, "rows_out": 0}
 
-        def flush() -> None:
-            nonlocal pending, pending_size
-            if pending:
-                out_stream.write(b"".join(pending))
-                pending = []
-                pending_size = 0
-
-        def emit(line: bytes) -> None:
-            nonlocal pending_size
-            pending.append(line)
-            pending_size += len(line)
-            if pending_size >= self.OUTPUT_CHUNK:
-                flush()
-
-        first_data_line = True
-        for raw_line in _owned_lines(in_stream, range_start, range_len):
-            if first_data_line:
-                first_data_line = False
-                if covers_start and has_header:
-                    if emit_header:
-                        header_fields = schema.names
-                        if columns is not None:
-                            header_fields = [
-                                schema.names[index] for index in columns
-                            ]
-                        emit(
-                            delimiter.join(header_fields).encode("utf-8")
-                            + b"\n"
+        def output_lines() -> Iterator[bytes]:
+            first_data_line = True
+            for raw_line in _owned_lines(in_stream, range_start, range_len):
+                if first_data_line:
+                    first_data_line = False
+                    if covers_start and has_header:
+                        if emit_header:
+                            header_fields = schema.names
+                            if columns is not None:
+                                header_fields = [
+                                    schema.names[index] for index in columns
+                                ]
+                            yield (
+                                delimiter.join(header_fields).encode("utf-8")
+                                + b"\n"
+                            )
+                        continue
+                counters["rows_in"] += 1
+                fields = _parse_record(raw_line, delimiter)
+                if fields is None:
+                    logger.emit(
+                        f"skipping malformed record: {raw_line[:80]!r}"
+                    )
+                    continue
+                if len(fields) != len(schema):
+                    logger.emit(
+                        f"skipping record of {len(fields)} fields "
+                        f"(schema has {len(schema)})"
+                    )
+                    continue
+                if predicate is not None:
+                    try:
+                        typed = schema.parse_row(fields)
+                    except (ValueError, TypeError):
+                        logger.emit(
+                            f"skipping untypable record: {raw_line[:80]!r}"
                         )
-                    continue
-            rows_in += 1
-            fields = _parse_record(raw_line, delimiter)
-            if fields is None:
-                logger.emit(f"skipping malformed record: {raw_line[:80]!r}")
-                continue
-            if len(fields) != len(schema):
-                logger.emit(
-                    f"skipping record of {len(fields)} fields "
-                    f"(schema has {len(schema)})"
-                )
-                continue
-            if predicate is not None:
-                try:
-                    typed = schema.parse_row(fields)
-                except (ValueError, TypeError):
-                    logger.emit(f"skipping untypable record: {raw_line[:80]!r}")
-                    continue
-                if not predicate(typed):
-                    continue
-            if columns is not None:
-                selected = [fields[index] for index in columns]
-                emit(_render_record(selected, delimiter))
-            else:
-                emit(raw_line + b"\n")
-            rows_out += 1
-        flush()
+                        continue
+                    if not predicate(typed):
+                        continue
+                if columns is not None:
+                    selected = [fields[index] for index in columns]
+                    yield _render_record(selected, delimiter)
+                else:
+                    yield raw_line + b"\n"
+                counters["rows_out"] += 1
 
-        out_stream.set_metadata(
+        yield from _coalesce(output_lines(), self.OUTPUT_CHUNK)
+        metadata.update(
             {
-                "x-object-meta-storlet-rows-in": str(rows_in),
-                "x-object-meta-storlet-rows-out": str(rows_out),
+                "x-object-meta-storlet-rows-in": str(counters["rows_in"]),
+                "x-object-meta-storlet-rows-out": str(counters["rows_out"]),
             }
         )
-        logger.emit(f"csvstorlet: {rows_in} rows in, {rows_out} rows out")
-        out_stream.close()
+        logger.emit(
+            f"csvstorlet: {counters['rows_in']} rows in, "
+            f"{counters['rows_out']} rows out"
+        )
+
+
+def _coalesce(lines: Iterator[bytes], chunk_size: int) -> Iterator[bytes]:
+    """Group small output records into chunk-size writes.
+
+    Keeps the pipeline's per-stage overhead bounded: downstream stages
+    (and byte accounting) see O(object_size / chunk_size) chunks instead
+    of one per record, while memory stays O(chunk_size).
+    """
+    pending: List[bytes] = []
+    pending_size = 0
+    for line in lines:
+        pending.append(line)
+        pending_size += len(line)
+        if pending_size >= chunk_size:
+            yield b"".join(pending)
+            pending = []
+            pending_size = 0
+    if pending:
+        yield b"".join(pending)
 
 
 def _owned_lines(

@@ -12,17 +12,16 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.storlets.api import (
     IStorlet,
     StorletException,
     StorletFailure,
     StorletInputStream,
-    StorletOutputStream,
 )
 from repro.storlets.sandbox import CostModel, Sandbox
-from repro.swift.http import Request, Response, parse_path
+from repro.swift.http import Request, Response, chunk_bytes, parse_path
 from repro.swift.middleware import App
 
 
@@ -252,24 +251,37 @@ class StorletMiddleware:
         self, request: Request, names: List[str], parameters: Dict[str, str]
     ) -> Response:
         node = request.environ.get("swift.proxy", "proxy")
-        data = request.body_bytes()
-        stream_chunks: Sequence[bytes] = [data] if data else []
+        body = request.body
+        if body is None:
+            chunks: Iterator[bytes] = iter(())
+        elif isinstance(body, (bytes, str)):
+            data = body.encode("utf-8") if isinstance(body, str) else body
+            chunks = chunk_bytes(data)
+        else:
+            chunks = iter(body)
+        # Chain every stage as a stream transformer: each uploaded chunk
+        # flows through the whole pipeline before the next is read.
+        invocations = []
         for name in names:
             storlet = self.engine.get(name)
             sandbox = self.engine.sandbox_for(node)
-            output = sandbox.run(
+            invocation = sandbox.run_streaming(
                 storlet,
-                StorletInputStream(stream_chunks),
+                StorletInputStream(chunks),
                 parameters,
                 tier=self.tier,
             )
-            stream_chunks = output.chunks()
-            # Metadata the storlet emits (e.g. cleansing statistics)
-            # persists as user metadata on the stored object.
-            for key, value in output.metadata.items():
+            invocations.append(invocation)
+            chunks = invocation.chunks()
+        # Storage needs the complete object (and its final headers), so
+        # the PUT path is where the pipeline ends and materializes.
+        request.body = b"".join(chunks)
+        # Metadata the storlets emit (e.g. cleansing statistics) is final
+        # after the drain and persists as user metadata on the object.
+        for invocation in invocations:
+            for key, value in invocation.metadata.items():
                 if key.startswith("x-object-meta-"):
                     request.headers[key] = value
-        request.body = b"".join(stream_chunks)
         response = self.app(request)
         response.headers[StorletRequestHeaders.INVOKED] = ",".join(names)
         return response
@@ -306,19 +318,33 @@ class StorletMiddleware:
             for key, value in response.headers.items()
             if key.startswith("x-object-meta-")
         }
+        # One pipelined generator per request: every stage is a stream
+        # transformer over the previous stage's chunk iterator, so each
+        # stored chunk flows through the whole pipeline before the next
+        # one is read off the disk (paper Section V: pipelining).
         chunks = response.iter_body()
-        output: Optional[StorletOutputStream] = None
+        invocation = None
         try:
             for name in names:
                 storlet = self.engine.get(name)
                 sandbox = self.engine.sandbox_for(node)
-                output = sandbox.run(
+                invocation = sandbox.run_streaming(
                     storlet,
                     StorletInputStream(chunks, metadata),
                     parameters,
                     tier=self.tier,
                 )
-                chunks = iter(output.chunks())
+                chunks = invocation.chunks()
+            # Prime the pipeline: pulling the first output chunk drives
+            # every stage's invocation start (and the injected fault
+            # hooks), so failures that fire before data flows still turn
+            # into a 500 here rather than exploding mid-stream in some
+            # consumer above the proxy.
+            output_iter = iter(chunks)
+            try:
+                first = next(output_iter)
+            except StopIteration:
+                first = None
         except StorletFailure as failure:
             # Runtime sandbox failures (crash, budget, deadline,
             # injected) are *degradable*: signal them in a response
@@ -336,14 +362,28 @@ class StorletMiddleware:
                 body=str(failure).encode("utf-8"),
             )
 
-        assert output is not None
+        assert invocation is not None
         headers = response.headers.copy()
         headers.pop("content-length", None)
         headers.pop("content-range", None)
         headers[StorletRequestHeaders.INVOKED] = ",".join(names)
-        for key, value in output.metadata.items():
-            headers[key] = value
-        return Response(200, headers, output.chunks())
+        last = invocation
+        filtered = Response(200, headers, None)
+
+        def body() -> Iterator[bytes]:
+            if first is not None:
+                yield first
+            yield from output_iter
+            # The stream is drained: the last stage's emitted metadata
+            # (e.g. row counts) is final now.  The response headers
+            # travel by reference up through proxy and client, so
+            # callers that read the body before the headers (as
+            # ``get_object`` does) observe the settled values.
+            for key, value in last.metadata.items():
+                filtered.headers[key] = value
+
+        filtered.body = body()
+        return filtered
 
 
 def _parse_byte_range(text: str) -> Tuple[int, int]:

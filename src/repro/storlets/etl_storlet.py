@@ -10,7 +10,7 @@ upload (Section VI); these two storlets reproduce that stage.
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Optional
+from typing import Dict, Iterator, List, Optional
 
 from repro.sql.types import Schema
 from repro.storlets.api import (
@@ -18,9 +18,9 @@ from repro.storlets.api import (
     StorletException,
     StorletInputStream,
     StorletLogger,
-    StorletOutputStream,
 )
 from repro.storlets.csv_storlet import (
+    _coalesce,
     _owned_lines,
     _parse_record,
     _render_record,
@@ -47,14 +47,15 @@ class CleansingStorlet(IStorlet):
 
     name = "etl-cleanse"
 
-    def invoke(
+    OUTPUT_CHUNK = 64 * 1024
+
+    def process(
         self,
-        in_streams: List[StorletInputStream],
-        out_streams: List[StorletOutputStream],
+        in_stream: StorletInputStream,
         parameters: Dict[str, str],
         logger: StorletLogger,
-    ) -> None:
-        in_stream, out_stream = in_streams[0], out_streams[0]
+        metadata: Dict[str, str],
+    ) -> Iterator[bytes]:
         schema_text = parameters.get("schema")
         if not schema_text:
             raise StorletException("CleansingStorlet requires 'schema'")
@@ -64,39 +65,44 @@ class CleansingStorlet(IStorlet):
         drop_empty = parameters.get("drop_empty", "true").lower() == "true"
         has_header = parameters.get("has_header", "false").lower() == "true"
 
-        kept = 0
-        dropped = 0
-        first = True
-        for raw_line in _owned_lines(in_stream, 0, None):
-            if first and has_header:
+        counters = {"kept": 0, "dropped": 0}
+
+        def output_lines() -> Iterator[bytes]:
+            first = True
+            for raw_line in _owned_lines(in_stream, 0, None):
+                if first and has_header:
+                    first = False
+                    yield raw_line + b"\n"
+                    continue
                 first = False
-                out_stream.write(raw_line + b"\n")
-                continue
-            first = False
-            fields = _parse_record(raw_line, delimiter)
-            if fields is None or len(fields) != len(schema):
-                dropped += 1
-                continue
-            if trim:
-                fields = [field.strip() for field in fields]
-            if drop_empty and all(field == "" for field in fields):
-                dropped += 1
-                continue
-            try:
-                schema.parse_row(fields)
-            except (ValueError, TypeError):
-                dropped += 1
-                continue
-            out_stream.write(_render_record(fields, delimiter))
-            kept += 1
-        logger.emit(f"etl-cleanse: kept {kept}, dropped {dropped}")
-        out_stream.set_metadata(
+                fields = _parse_record(raw_line, delimiter)
+                if fields is None or len(fields) != len(schema):
+                    counters["dropped"] += 1
+                    continue
+                if trim:
+                    fields = [field.strip() for field in fields]
+                if drop_empty and all(field == "" for field in fields):
+                    counters["dropped"] += 1
+                    continue
+                try:
+                    schema.parse_row(fields)
+                except (ValueError, TypeError):
+                    counters["dropped"] += 1
+                    continue
+                yield _render_record(fields, delimiter)
+                counters["kept"] += 1
+
+        yield from _coalesce(output_lines(), self.OUTPUT_CHUNK)
+        logger.emit(
+            f"etl-cleanse: kept {counters['kept']}, "
+            f"dropped {counters['dropped']}"
+        )
+        metadata.update(
             {
-                "x-object-meta-etl-kept": str(kept),
-                "x-object-meta-etl-dropped": str(dropped),
+                "x-object-meta-etl-kept": str(counters["kept"]),
+                "x-object-meta-etl-dropped": str(counters["dropped"]),
             }
         )
-        out_stream.close()
 
 
 class ColumnSplitStorlet(IStorlet):
@@ -126,14 +132,15 @@ class ColumnSplitStorlet(IStorlet):
 
     name = "etl-split"
 
-    def invoke(
+    OUTPUT_CHUNK = 64 * 1024
+
+    def process(
         self,
-        in_streams: List[StorletInputStream],
-        out_streams: List[StorletOutputStream],
+        in_stream: StorletInputStream,
         parameters: Dict[str, str],
         logger: StorletLogger,
-    ) -> None:
-        in_stream, out_stream = in_streams[0], out_streams[0]
+        metadata: Dict[str, str],
+    ) -> Iterator[bytes]:
         if "column" not in parameters:
             raise StorletException("ColumnSplitStorlet requires 'column'")
         column = int(parameters["column"])
@@ -145,31 +152,34 @@ class ColumnSplitStorlet(IStorlet):
         if parameters.get("header_names"):
             header_names = json.loads(parameters["header_names"])
 
-        count = 0
-        first = True
-        for raw_line in _owned_lines(in_stream, 0, None):
-            fields = _parse_record(raw_line, delimiter)
-            if fields is None or column >= len(fields):
-                out_stream.write(raw_line + b"\n")
-                continue
-            if first and has_header:
+        counters = {"count": 0}
+
+        def output_lines() -> Iterator[bytes]:
+            first = True
+            for raw_line in _owned_lines(in_stream, 0, None):
+                fields = _parse_record(raw_line, delimiter)
+                if fields is None or column >= len(fields):
+                    yield raw_line + b"\n"
+                    continue
+                if first and has_header:
+                    first = False
+                    replacement = header_names or [
+                        f"{fields[column]}_{i}" for i in range(parts)
+                    ]
+                    fields[column : column + 1] = replacement
+                    yield _render_record(fields, delimiter)
+                    continue
                 first = False
-                replacement = header_names or [
-                    f"{fields[column]}_{i}" for i in range(parts)
-                ]
-                fields[column : column + 1] = replacement
-                out_stream.write(_render_record(fields, delimiter))
-                continue
-            first = False
-            pieces = fields[column].split(separator)
-            if len(pieces) < parts:
-                pieces = pieces + [""] * (parts - len(pieces))
-            elif len(pieces) > parts:
-                pieces = pieces[: parts - 1] + [
-                    separator.join(pieces[parts - 1 :])
-                ]
-            fields[column : column + 1] = pieces
-            out_stream.write(_render_record(fields, delimiter))
-            count += 1
-        logger.emit(f"etl-split: transformed {count} records")
-        out_stream.close()
+                pieces = fields[column].split(separator)
+                if len(pieces) < parts:
+                    pieces = pieces + [""] * (parts - len(pieces))
+                elif len(pieces) > parts:
+                    pieces = pieces[: parts - 1] + [
+                        separator.join(pieces[parts - 1 :])
+                    ]
+                fields[column : column + 1] = pieces
+                yield _render_record(fields, delimiter)
+                counters["count"] += 1
+
+        yield from _coalesce(output_lines(), self.OUTPUT_CHUNK)
+        logger.emit(f"etl-split: transformed {counters['count']} records")

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterator, List, Optional
 
 from repro.storlets.api import (
     IStorlet,
@@ -132,7 +132,38 @@ class Sandbox:
         parameters: Dict[str, str],
         tier: str = "object",
     ) -> StorletOutputStream:
-        """Invoke ``storlet``; returns its output stream.
+        """Invoke ``storlet`` and drain it; returns its output stream.
+
+        Convenience wrapper over :meth:`run_streaming` for callers that
+        want the materialized result (tests, PUT-path ETL); the
+        accounting still happens chunk by chunk as the stream drains.
+        """
+        invocation = self.run_streaming(storlet, in_stream, parameters, tier)
+        out_stream = StorletOutputStream()
+        for chunk in invocation.chunks():
+            out_stream.write(chunk)
+        out_stream.set_metadata(invocation.metadata)
+        out_stream.close()
+        return out_stream
+
+    def run_streaming(
+        self,
+        storlet: IStorlet,
+        in_stream: StorletInputStream,
+        parameters: Dict[str, str],
+        tier: str = "object",
+    ) -> "StreamingInvocation":
+        """Start ``storlet`` as a stream transformer.
+
+        Returns a :class:`StreamingInvocation` whose :meth:`chunks`
+        iterator pulls input through the storlet on demand.  ``bytes_in``
+        / ``bytes_out`` / CPU seconds are charged to :attr:`stats` per
+        chunk *as the stream flows*, and the output/CPU limits are
+        enforced mid-stream, so accounting stays honest for objects that
+        are never materialized.  The invocation counts as completed (and
+        its :class:`InvocationRecord` is appended) only once the stream
+        is fully drained; failures surface as exceptions from the chunk
+        iterator.
 
         The first invocation "warms" the sandbox (container start),
         charging the memory overhead permanently -- matching the
@@ -142,96 +173,142 @@ class Sandbox:
             self._warm = True
             self.stats.memory_bytes += self.memory_overhead
 
-        logger = StorletLogger(storlet.name)
-        out_stream = StorletOutputStream()
-        counting_in = _CountingInput(in_stream)
-        started = time.perf_counter()
-        try:
-            if self.fault_hook is not None:
+        # Fault injection fires at invocation start, before any data
+        # flows -- so a failed pushdown never streams partial output.
+        if self.fault_hook is not None:
+            try:
                 self.fault_hook(storlet.name, self.node, tier)
-            storlet.invoke([counting_in], [out_stream], dict(parameters), logger)
-        except StorletException:
-            self.stats.errors += 1
-            raise
-        except Exception as error:
-            self.stats.errors += 1
-            raise StorletFailure(
-                f"{storlet.name} failed: {error}",
-                storlet=storlet.name,
-                node=self.node,
-                reason="crash",
-            ) from error
-        wall = time.perf_counter() - started
-        if (
-            self.max_wall_seconds is not None
-            and wall > self.max_wall_seconds
-        ):
-            self.stats.errors += 1
-            raise StorletFailure(
-                f"{storlet.name} missed the invocation deadline: "
-                f"{wall:.4f} > {self.max_wall_seconds} seconds",
-                storlet=storlet.name,
-                node=self.node,
-                reason="deadline",
+            except StorletException:
+                self.stats.errors += 1
+                raise
+
+        logger = StorletLogger(storlet.name)
+        parameters = dict(parameters)
+        filtered = "filters" in parameters
+        projected = "columns" in parameters
+        invocation = StreamingInvocation(storlet.name)
+
+        def charge(bytes_in: int, bytes_out: int) -> None:
+            cost = self.cost_model.invocation_cost(
+                bytes_in, bytes_out, filtered, projected
             )
+            invocation.cpu_seconds += cost
+            self.stats.cpu_seconds += cost
+            if (
+                self.max_cpu_seconds is not None
+                and invocation.cpu_seconds > self.max_cpu_seconds
+            ):
+                raise StorletFailure(
+                    f"{storlet.name} exceeded the sandbox CPU budget: "
+                    f"{invocation.cpu_seconds:.4f} > "
+                    f"{self.max_cpu_seconds} core-seconds",
+                    storlet=storlet.name,
+                    node=self.node,
+                    reason="cpu-exhausted",
+                )
 
-        bytes_in = counting_in.bytes_read
-        bytes_out = out_stream.bytes_written
-        if (
-            self.max_output_bytes is not None
-            and bytes_out > self.max_output_bytes
-        ):
-            self.stats.errors += 1
-            raise StorletFailure(
-                f"{storlet.name} exceeded the sandbox output limit: "
-                f"{bytes_out} > {self.max_output_bytes} bytes",
-                storlet=storlet.name,
-                node=self.node,
-                reason="output-limit",
-            )
-        cpu = self.cost_model.invocation_cost(
-            bytes_in,
-            bytes_out,
-            filtered_rows="filters" in parameters,
-            projected_columns="columns" in parameters,
-        )
-        if self.max_cpu_seconds is not None and cpu > self.max_cpu_seconds:
-            self.stats.errors += 1
-            raise StorletFailure(
-                f"{storlet.name} exceeded the sandbox CPU budget: "
-                f"{cpu:.4f} > {self.max_cpu_seconds} core-seconds",
-                storlet=storlet.name,
-                node=self.node,
-                reason="cpu-exhausted",
-            )
-        self.stats.invocations += 1
-        self.stats.bytes_in += bytes_in
-        self.stats.bytes_out += bytes_out
-        self.stats.cpu_seconds += cpu
-        self.records.append(
-            InvocationRecord(
-                storlet=storlet.name,
-                node=self.node,
-                tier=tier,
-                bytes_in=bytes_in,
-                bytes_out=bytes_out,
-                cpu_seconds=cpu,
-                wall_seconds=wall,
-                parameters=dict(parameters),
-            )
-        )
-        return out_stream
-
-
-class _CountingInput(StorletInputStream):
-    """Wraps an input stream, counting the bytes the storlet consumed."""
-
-    def __init__(self, inner: StorletInputStream):
-        self.bytes_read = 0
-
-        def counted():
-            for chunk in inner.iter_chunks():
-                self.bytes_read += len(chunk)
+        def metered_input():
+            for chunk in in_stream.iter_chunks():
+                invocation.bytes_read += len(chunk)
+                self.stats.bytes_in += len(chunk)
+                charge(len(chunk), 0)
                 yield chunk
 
-        super().__init__(counted(), inner.metadata)
+        def accounted():
+            started = time.perf_counter()
+            try:
+                chunks = storlet.process(
+                    StorletInputStream(metered_input(), in_stream.metadata),
+                    parameters,
+                    logger,
+                    invocation.metadata,
+                )
+                for chunk in chunks:
+                    if not isinstance(chunk, bytes):
+                        raise StorletException(
+                            f"storlet output must be bytes, "
+                            f"got {type(chunk).__name__}"
+                        )
+                    if not chunk:
+                        continue
+                    invocation.bytes_written += len(chunk)
+                    self.stats.bytes_out += len(chunk)
+                    if (
+                        self.max_output_bytes is not None
+                        and invocation.bytes_written > self.max_output_bytes
+                    ):
+                        raise StorletFailure(
+                            f"{storlet.name} exceeded the sandbox output "
+                            f"limit: {invocation.bytes_written} > "
+                            f"{self.max_output_bytes} bytes",
+                            storlet=storlet.name,
+                            node=self.node,
+                            reason="output-limit",
+                        )
+                    charge(0, len(chunk))
+                    yield chunk
+            except StorletException:
+                self.stats.errors += 1
+                raise
+            except Exception as error:
+                self.stats.errors += 1
+                raise StorletFailure(
+                    f"{storlet.name} failed: {error}",
+                    storlet=storlet.name,
+                    node=self.node,
+                    reason="crash",
+                ) from error
+            wall = time.perf_counter() - started
+            if (
+                self.max_wall_seconds is not None
+                and wall > self.max_wall_seconds
+            ):
+                self.stats.errors += 1
+                raise StorletFailure(
+                    f"{storlet.name} missed the invocation deadline: "
+                    f"{wall:.4f} > {self.max_wall_seconds} seconds",
+                    storlet=storlet.name,
+                    node=self.node,
+                    reason="deadline",
+                )
+            self.stats.invocations += 1
+            self.records.append(
+                InvocationRecord(
+                    storlet=storlet.name,
+                    node=self.node,
+                    tier=tier,
+                    bytes_in=invocation.bytes_read,
+                    bytes_out=invocation.bytes_written,
+                    cpu_seconds=invocation.cpu_seconds,
+                    wall_seconds=wall,
+                    parameters=dict(parameters),
+                )
+            )
+
+        invocation.attach(accounted())
+        return invocation
+
+
+class StreamingInvocation:
+    """Handle for one in-flight streaming storlet invocation.
+
+    :attr:`metadata` is the dict the storlet writes its emitted metadata
+    into; it is only guaranteed complete once :meth:`chunks` has been
+    exhausted (real Storlets send metadata out-of-band, ours settles it
+    at end-of-stream).
+    """
+
+    def __init__(self, storlet: str):
+        self.storlet = storlet
+        self.metadata: Dict[str, str] = {}
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.cpu_seconds = 0.0
+        self._chunks: Optional[Iterator[bytes]] = None
+
+    def attach(self, chunks: Iterator[bytes]) -> None:
+        self._chunks = chunks
+
+    def chunks(self) -> Iterator[bytes]:
+        assert self._chunks is not None
+        return self._chunks

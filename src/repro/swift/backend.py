@@ -31,6 +31,7 @@ from repro.swift.http import (
     Request,
     Response,
     chunk_bytes,
+    chunk_bytes_range,
     collect_body,
     parse_range,
 )
@@ -138,10 +139,13 @@ class ObjectServer:
                 raise RangeNotSatisfiable(
                     f"range {range_header!r} outside object of {stored.size} B"
                 )
-            payload = stored.data[start : end + 1]
             headers["content-range"] = f"bytes {start}-{end}/{stored.size}"
-            headers["content-length"] = str(len(payload))
-            return Response(206, headers, chunk_bytes(payload))
+            headers["content-length"] = str(end - start + 1)
+            # Stream the range as lazy chunk-size slices; the sub-range
+            # is never materialized as one contiguous payload.
+            return Response(
+                206, headers, chunk_bytes_range(stored.data, start, end + 1)
+            )
         headers["content-length"] = str(stored.size)
         return Response(200, headers, chunk_bytes(stored.data))
 

@@ -186,10 +186,16 @@ class SwiftClient:
         container: str,
         obj: str,
         headers: Optional[Dict[str, str]] = None,
+        byte_range: Optional[Tuple[int, int]] = None,
     ) -> Response:
-        """Fetch an object without materializing its body."""
+        """Fetch an object (optionally a byte range) without
+        materializing its body; ``response.iter_body()`` streams it."""
+        merged = HeaderDict(headers or {})
+        if byte_range is not None:
+            start, end = byte_range
+            merged["range"] = f"bytes={start}-{end}"
         return self._checked(
-            self.request("GET", self._path(container, obj), headers)
+            self.request("GET", self._path(container, obj), merged)
         )
 
     def head_object(self, container: str, obj: str) -> HeaderDict:

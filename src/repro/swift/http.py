@@ -149,6 +149,14 @@ class Request:
         return data
 
     def copy(self) -> "Request":
+        if self.body is not None and not isinstance(self.body, (bytes, str)):
+            # A chunk-iterator body is consumable exactly once; two
+            # copies silently sharing it would race for the bytes (e.g.
+            # replica fan-out storing one full and two empty copies).
+            raise TypeError(
+                "cannot copy a Request with a consumable iterator body: "
+                "call body_bytes() first"
+            )
         return Request(
             self.method,
             self.path,
@@ -221,3 +229,12 @@ def chunk_bytes(data: bytes, chunk_size: int = DEFAULT_CHUNK_SIZE) -> Iterator[b
     """Yield ``data`` in fixed-size chunks (streaming helper)."""
     for offset in range(0, len(data), chunk_size):
         yield data[offset : offset + chunk_size]
+
+
+def chunk_bytes_range(
+    data: bytes, start: int, stop: int, chunk_size: int = DEFAULT_CHUNK_SIZE
+) -> Iterator[bytes]:
+    """Yield ``data[start:stop]`` in fixed-size chunks without ever
+    materializing the sub-range as one contiguous payload."""
+    for offset in range(start, stop, chunk_size):
+        yield data[offset : min(offset + chunk_size, stop)]

@@ -1,0 +1,160 @@
+"""Streaming data-plane tests: record integrity across chunk boundaries
+and LIMIT early termination.
+
+The streaming refactor moves bounded chunk iterators through every tier,
+so records routinely straddle chunk boundaries.  These tests feed the
+same fixture through each record-aligning reader at chunk sizes 1 B (a
+boundary inside every record), 7 B (boundaries at awkward offsets) and
+64 KiB (the production default, no interior boundary) and require
+byte-identical output.
+"""
+
+import pytest
+
+from repro.connector import StocatorConnector
+from repro.core.scoop import ScoopContext
+from repro.sql import GreaterThan, Schema
+from repro.sql.filters import filters_to_json
+from repro.storlets import CsvStorlet, StorletEngine
+from repro.storlets.api import StorletInputStream, StorletLogger
+from repro.storlets.etl_storlet import CleansingStorlet
+from repro.swift import SwiftClient, SwiftCluster
+from repro.swift.http import chunk_bytes
+
+CHUNK_SIZES = [1, 7, 64 * 1024]
+
+SCHEMA = Schema.from_header("vid:string,index:int,city:string")
+
+FIXTURE = b"".join(
+    f"vid-{i:03d},{i},{'Paris' if i % 3 else 'Lyon'}\n".encode()
+    for i in range(50)
+)
+
+
+def run_storlet(storlet, parameters, chunk_size):
+    stream = StorletInputStream(chunk_bytes(FIXTURE, chunk_size))
+    metadata = {}
+    output = b"".join(
+        storlet.process(stream, parameters, StorletLogger("test"), metadata)
+    )
+    return output, metadata
+
+
+class TestCsvStorletChunkBoundaries:
+    PARAMETERS = {
+        "schema": SCHEMA.to_header(),
+        "columns": '["vid", "index"]',
+        "filters": filters_to_json([GreaterThan("index", 10.0)]),
+    }
+
+    @pytest.mark.parametrize("chunk_size", CHUNK_SIZES)
+    def test_output_identical_across_chunk_sizes(self, chunk_size):
+        baseline, base_meta = run_storlet(
+            CsvStorlet(), dict(self.PARAMETERS), 64 * 1024
+        )
+        output, metadata = run_storlet(
+            CsvStorlet(), dict(self.PARAMETERS), chunk_size
+        )
+        assert output == baseline
+        assert metadata == base_meta
+        assert metadata["x-object-meta-storlet-rows-out"] == "39"
+
+    @pytest.mark.parametrize("chunk_size", CHUNK_SIZES)
+    def test_every_record_intact(self, chunk_size):
+        output, _ = run_storlet(
+            CsvStorlet(), {"schema": SCHEMA.to_header()}, chunk_size
+        )
+        assert output == FIXTURE  # no projection/filter: passthrough
+
+
+class TestCleansingStorletChunkBoundaries:
+    PARAMETERS = {"schema": SCHEMA.to_header()}
+
+    @pytest.mark.parametrize("chunk_size", CHUNK_SIZES)
+    def test_output_identical_across_chunk_sizes(self, chunk_size):
+        dirty = FIXTURE + b"  malformed-line\n , , \nvid-999,999,Nice\n"
+        storlet = CleansingStorlet()
+        baseline = b"".join(
+            storlet.process(
+                StorletInputStream(chunk_bytes(dirty, 64 * 1024)),
+                dict(self.PARAMETERS),
+                StorletLogger("test"),
+                {},
+            )
+        )
+        metadata = {}
+        output = b"".join(
+            storlet.process(
+                StorletInputStream(chunk_bytes(dirty, chunk_size)),
+                dict(self.PARAMETERS),
+                StorletLogger("test"),
+                metadata,
+            )
+        )
+        assert output == baseline
+        assert metadata["x-object-meta-etl-kept"] == "51"
+        assert metadata["x-object-meta-etl-dropped"] == "2"
+
+
+class TestConnectorChunkBoundaries:
+    @pytest.fixture
+    def store(self):
+        engine = StorletEngine()
+        cluster = SwiftCluster(
+            storage_node_count=2,
+            disks_per_node=1,
+            proxy_middleware=[engine.proxy_middleware()],
+            object_middleware=[engine.object_middleware()],
+        )
+        client = SwiftClient(cluster, "AUTH_bound")
+        engine.deploy(CsvStorlet())
+        client.put_container("c")
+        client.put_object("c", "o", FIXTURE)
+        return client
+
+    @pytest.mark.parametrize("chunk_size", CHUNK_SIZES)
+    def test_records_covered_exactly_once(self, store, chunk_size):
+        connector = StocatorConnector(store, chunk_size=chunk_size)
+        records = []
+        for split in connector.discover_partitions("c"):
+            records.extend(connector.read_split_records(split))
+        assert records == FIXTURE.rstrip(b"\n").split(b"\n")
+
+
+class TestLimitEarlyTermination:
+    """A satisfied LIMIT must stop pulling chunks from the store."""
+
+    @pytest.fixture
+    def scoop(self):
+        context = ScoopContext(chunk_size=4 * 1024)
+        rows = "".join(
+            f"vid-{i:05d},{i},{'Paris' if i % 2 else 'Lyon'}\n"
+            for i in range(5000)
+        )
+        context.upload_csv("meters", "data.csv", rows)
+        context.register_csv_table(
+            "meters", "meters", schema=SCHEMA, pushdown=False
+        )
+        return context
+
+    def test_limit_transfers_strictly_fewer_bytes(self, scoop):
+        frame_all, report_all = scoop.run_query("SELECT vid FROM meters")
+        frame_lim, report_lim = scoop.run_query(
+            "SELECT vid FROM meters LIMIT 5"
+        )
+        assert len(frame_lim.collect()) == 5
+        assert report_lim.bytes_transferred < report_all.bytes_transferred
+        assert frame_lim.collect() == frame_all.collect()[:5]
+
+    def test_limit_with_pushdown_transfers_fewer_bytes(self, scoop):
+        scoop.register_csv_table(
+            "meters_pd", "meters", schema=SCHEMA, pushdown=True
+        )
+        _frame_all, report_all = scoop.run_query(
+            "SELECT vid FROM meters_pd WHERE index > 100"
+        )
+        frame_lim, report_lim = scoop.run_query(
+            "SELECT vid FROM meters_pd WHERE index > 100 LIMIT 3"
+        )
+        assert len(frame_lim.collect()) == 3
+        assert report_lim.bytes_transferred < report_all.bytes_transferred
