@@ -89,6 +89,15 @@ def build_parser() -> argparse.ArgumentParser:
 def _add_resilience_options(parser: argparse.ArgumentParser) -> None:
     from repro.faults.plans import NAMED_PLANS
 
+    parser.add_argument(
+        "--parallelism",
+        type=int,
+        default=1,
+        help=(
+            "concurrent partition tasks per stage (default: 1, today's "
+            "serial behavior); results are identical at any setting"
+        ),
+    )
     group = parser.add_argument_group("resilience")
     group.add_argument(
         "--retries",
@@ -130,7 +139,10 @@ def _resilience_context(args, **context_kwargs):
     if args.fault_plan != "none":
         plan = named_plan(args.fault_plan, seed=args.fault_seed)
     return ScoopContext(
-        retry_policy=policy, fault_plan=plan, **context_kwargs
+        retry_policy=policy,
+        fault_plan=plan,
+        parallelism=getattr(args, "parallelism", None),
+        **context_kwargs,
     )
 
 
@@ -205,7 +217,9 @@ def _chaos(args) -> int:
     from repro.core import ScoopContext
 
     print("running fault-free baseline...")
-    baseline = run_all(ScoopContext(chunk_size=48 * 1024))
+    baseline = run_all(
+        ScoopContext(chunk_size=48 * 1024, parallelism=args.parallelism)
+    )
 
     print(
         f"running plan {args.fault_plan!r} (seed {args.fault_seed})..."

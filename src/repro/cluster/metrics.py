@@ -9,6 +9,7 @@ flow resources (the load-balancer link), at a fixed interval.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -19,15 +20,24 @@ from repro.simulation import Environment, Interrupt
 
 @dataclass
 class ResourceSeries:
-    """One sampled time series: (time, value) pairs plus summary stats."""
+    """One sampled time series: (time, value) pairs plus summary stats.
+
+    Appends are locked so samplers on different threads (a live workload
+    thread and the DES clock, or sharded samplers merging into one
+    series) cannot tear the parallel times/values lists.
+    """
 
     name: str
     times: List[float] = field(default_factory=list)
     values: List[float] = field(default_factory=list)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def record(self, time: float, value: float) -> None:
-        self.times.append(time)
-        self.values.append(value)
+        with self._lock:
+            self.times.append(time)
+            self.values.append(value)
 
     def mean(self) -> float:
         if not self.values:
@@ -75,25 +85,30 @@ class MetricsCollector:
         self._resources: Dict[str, FlowResource] = {}
         self.series: Dict[str, ResourceSeries] = {}
         self._process = None
+        # Guards registration and sampling against concurrent callers;
+        # individual series additionally lock their own appends.
+        self._lock = threading.RLock()
 
     # -- registration ------------------------------------------------------
 
     def watch_nodes(self, group: str, nodes: Sequence[Node]) -> None:
         """Track mean CPU/memory/NIC across ``nodes`` as group series."""
-        self._node_groups[group] = nodes
-        for metric in ("cpu", "memory", "net_tx", "net_rx"):
-            key = f"{group}.{metric}"
-            self.series.setdefault(key, ResourceSeries(key))
+        with self._lock:
+            self._node_groups[group] = nodes
+            for metric in ("cpu", "memory", "net_tx", "net_rx"):
+                key = f"{group}.{metric}"
+                self.series.setdefault(key, ResourceSeries(key))
 
     def watch_resource(self, name: str, resource: FlowResource) -> None:
         """Track one flow resource's throughput and utilization."""
-        self._resources[name] = resource
-        self.series.setdefault(
-            f"{name}.throughput", ResourceSeries(f"{name}.throughput")
-        )
-        self.series.setdefault(
-            f"{name}.utilization", ResourceSeries(f"{name}.utilization")
-        )
+        with self._lock:
+            self._resources[name] = resource
+            self.series.setdefault(
+                f"{name}.throughput", ResourceSeries(f"{name}.throughput")
+            )
+            self.series.setdefault(
+                f"{name}.utilization", ResourceSeries(f"{name}.utilization")
+            )
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -117,7 +132,10 @@ class MetricsCollector:
 
     def sample_once(self) -> None:
         now = self.env.now
-        for group, nodes in self._node_groups.items():
+        with self._lock:
+            node_groups = dict(self._node_groups)
+            resources = dict(self._resources)
+        for group, nodes in node_groups.items():
             if not nodes:
                 continue
             cpu = sum(node.cpu_utilization() for node in nodes) / len(nodes)
@@ -128,7 +146,7 @@ class MetricsCollector:
             self.series[f"{group}.memory"].record(now, memory)
             self.series[f"{group}.net_tx"].record(now, tx)
             self.series[f"{group}.net_rx"].record(now, rx)
-        for name, resource in self._resources.items():
+        for name, resource in resources.items():
             self.series[f"{name}.throughput"].record(now, resource.throughput())
             self.series[f"{name}.utilization"].record(now, resource.utilization())
 

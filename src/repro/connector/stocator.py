@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
@@ -78,7 +79,14 @@ class ObjectSplit:
 
 @dataclass
 class TransferMetrics:
-    """Bytes that actually crossed the store->compute boundary."""
+    """Bytes that actually crossed the store->compute boundary.
+
+    Thread-safe: concurrent tasks meter their chunks into one shared
+    instance, so every mutation happens under one internal leaf lock
+    (never held across I/O).  Totals are interleaving-independent --
+    addition commutes -- which is what lets the concurrency tests assert
+    identical metrics at parallelism 1 and 8 for full-drain queries.
+    """
 
     requests: int = 0
     bytes_transferred: int = 0
@@ -87,6 +95,9 @@ class TransferMetrics:
     #: Pushdown reads that degraded to a plain GET + compute-side filter
     #: after a runtime storlet failure.
     pushdown_fallbacks: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def record(self, transferred: int, requested: int, pushdown: bool) -> None:
         self.record_request(requested, pushdown)
@@ -94,17 +105,32 @@ class TransferMetrics:
 
     def record_request(self, requested: int, pushdown: bool) -> None:
         """Charge one store round-trip covering ``requested`` bytes."""
-        self.requests += 1
-        self.bytes_requested += requested
-        if pushdown:
-            self.pushdown_requests += 1
+        with self._lock:
+            self.requests += 1
+            self.bytes_requested += requested
+            if pushdown:
+                self.pushdown_requests += 1
 
     def record_bytes(self, transferred: int) -> None:
         """Charge bytes as they cross the wire, one chunk at a time."""
-        self.bytes_transferred += transferred
+        with self._lock:
+            self.bytes_transferred += transferred
 
     def record_fallback(self) -> None:
-        self.pushdown_fallbacks += 1
+        with self._lock:
+            self.pushdown_fallbacks += 1
+
+    def totals(self) -> Tuple[int, int, int, int, int]:
+        """Consistent snapshot of every counter, for cross-run equality
+        assertions."""
+        with self._lock:
+            return (
+                self.requests,
+                self.bytes_transferred,
+                self.bytes_requested,
+                self.pushdown_requests,
+                self.pushdown_fallbacks,
+            )
 
     def savings_ratio(self) -> float:
         """Fraction of requested bytes that did NOT need to travel."""
@@ -113,11 +139,12 @@ class TransferMetrics:
         return 1.0 - self.bytes_transferred / self.bytes_requested
 
     def reset(self) -> None:
-        self.requests = 0
-        self.bytes_transferred = 0
-        self.bytes_requested = 0
-        self.pushdown_requests = 0
-        self.pushdown_fallbacks = 0
+        with self._lock:
+            self.requests = 0
+            self.bytes_transferred = 0
+            self.bytes_requested = 0
+            self.pushdown_requests = 0
+            self.pushdown_fallbacks = 0
 
 
 class StocatorConnector:

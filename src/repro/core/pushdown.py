@@ -82,7 +82,11 @@ class PushdownTask:
 
     @classmethod
     def from_parameters(
-        cls, parameters: Dict[str, str], storlet: str = "csvstorlet"
+        cls,
+        parameters: Dict[str, str],
+        storlet: str = "csvstorlet",
+        run_on: str = "object",
+        compress: bool = False,
     ) -> "PushdownTask":
         schema = Schema.from_header(parameters["schema"])
         columns = None
@@ -98,6 +102,31 @@ class PushdownTask:
             has_header=parameters.get("has_header", "false") == "true",
             delimiter=parameters.get("delimiter", ","),
             storlet=storlet,
+            run_on=run_on,
+            compress=compress,
+        )
+
+    @classmethod
+    def from_headers(cls, headers: Dict[str, str]) -> "PushdownTask":
+        """Decode the task a request was tagged with -- the exact inverse
+        of :meth:`apply_to_headers`.
+
+        ``run_on`` and ``compress`` live in the storlet headers (the
+        run-on header and the ``,zlibcompress`` pipeline suffix), not in
+        the parameters, so decoding only the parameters used to lose
+        them; this reads all three header groups.
+        """
+        lowered = {key.lower(): value for key, value in headers.items()}
+        pipeline = lowered.get(StorletRequestHeaders.RUN, "")
+        names = [name.strip() for name in pipeline.split(",") if name.strip()]
+        compress = "zlibcompress" in names
+        storlet = next(
+            (name for name in names if name != "zlibcompress"), "csvstorlet"
+        )
+        run_on = lowered.get(StorletRequestHeaders.RUN_ON, "object")
+        parameters = StorletRequestHeaders.parameters_from(lowered)
+        return cls.from_parameters(
+            parameters, storlet=storlet, run_on=run_on, compress=compress
         )
 
     def describe(self) -> str:

@@ -19,6 +19,7 @@ fewer bytes than the same query without it.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, Union
 
@@ -77,7 +78,15 @@ class ScoopContext:
         retry_policy: Optional[RetryPolicy] = None,
         fault_plan=None,
         max_task_attempts: int = 3,
+        parallelism: Optional[int] = None,
+        proxy_concurrency: Optional[int] = 8,
     ):
+        # Scheduler pool size: how many partition tasks run at once.
+        # Defaults to the REPRO_PARALLELISM env var (CI runs the whole
+        # suite at 8) and finally to 1 -- today's serial behavior.
+        if parallelism is None:
+            parallelism = int(os.environ.get("REPRO_PARALLELISM", "1"))
+        self.parallelism = parallelism
         self.engine = StorletEngine()
         self.cluster = SwiftCluster(
             storage_node_count=storage_node_count,
@@ -86,15 +95,24 @@ class ScoopContext:
             replica_count=replica_count,
             proxy_middleware=[self.engine.proxy_middleware()],
             object_middleware=[self.engine.object_middleware()],
+            proxy_concurrency=proxy_concurrency,
         )
         self.client = SwiftClient(
-            self.cluster, account, retry_policy=retry_policy
+            self.cluster,
+            account,
+            retry_policy=retry_policy,
+            # Bounded connection pool sized so the pool is never the
+            # bottleneck below the configured parallelism but still
+            # models a finite client (a real swiftclient keeps a small
+            # connection pool per endpoint).
+            max_connections=max(4, parallelism * 2),
         )
         self.connector = StocatorConnector(self.client, chunk_size=chunk_size)
         self.spark_context = SparkContext(
             "scoop",
             num_workers=num_workers,
             max_task_attempts=max_task_attempts,
+            parallelism=parallelism,
         )
         self.session = SparkSession(self.spark_context)
         self.controller = controller
@@ -308,6 +326,23 @@ class ScoopContext:
         if self.fault_plan is not None:
             summary["faults_injected"] = self.fault_plan.fired()
         return summary
+
+    def concurrency_summary(self) -> Dict[str, float]:
+        """Contention counters for the concurrent data path.
+
+        Kept separate from :meth:`resilience_summary` on purpose: these
+        are *timing-dependent* (how often a thread found a pool or proxy
+        saturated) and therefore legitimately vary between runs, while
+        the resilience summary is part of the determinism contract.
+        """
+        return {
+            "parallelism": self.parallelism,
+            "client_pool_waits": self.client.stats.pool_waits,
+            "proxy_queue_waits": self.cluster.counters["proxy_queue_waits"],
+            "proxy_peak_inflight": self.cluster.counters[
+                "proxy_peak_inflight"
+            ],
+        }
 
     def storage_cpu_seconds(self) -> float:
         """Total CPU charged to storage-node sandboxes so far."""

@@ -14,6 +14,14 @@ the three layers the resilience machinery defends:
 
 All three consult the same :class:`~repro.faults.plan.FaultPlan`, so one
 seed fixes the entire fault sequence.
+
+Every consultation passes a **scope** string naming the logical request
+-- node, method, object path and byte range -- so the plan's seeded
+decisions are a pure function of *which* request is asking, not of the
+global order requests happen to arrive in.  That is what keeps a chaos
+run deterministic when the scheduler executes partitions concurrently:
+thread interleaving permutes the arrival order but not the per-scope
+consult sequences (see :mod:`repro.faults.plan`).
 """
 
 from __future__ import annotations
@@ -67,9 +75,11 @@ class FaultInjector:
 
         return _ProxyFaults
 
-    def storlet_hook(self) -> Callable[[str, str, str], None]:
-        def hook(storlet: str, node: str, tier: str) -> None:
-            reason = self.plan.storlet_fault(storlet, node)
+    def storlet_hook(self) -> Callable[..., None]:
+        def hook(storlet: str, node: str, tier: str, scope: str = "") -> None:
+            reason = self.plan.storlet_fault(
+                storlet, node, scope=f"{storlet}@{node}|{scope}"
+            )
             if reason is not None:
                 raise StorletFailure(
                     f"injected sandbox failure ({reason}) running "
@@ -85,7 +95,9 @@ class FaultInjector:
 
     def _apply_object_fault(self, request: Request) -> None:
         node = request.environ.get("swift.node", "object")
-        fault = self.plan.object_fault(node, request.method)
+        fault = self.plan.object_fault(
+            node, request.method, scope=_request_scope(node, request)
+        )
         if fault is None:
             return
         kind, value = fault
@@ -116,7 +128,9 @@ class FaultInjector:
     def _apply_proxy_fault(self, request: Request) -> None:
         for loss in self.plan.on_request():
             self._fire_device_loss(loss)
-        status = self.plan.proxy_fault(request.method)
+        status = self.plan.proxy_fault(
+            request.method, scope=_request_scope("proxy", request)
+        )
         if status is not None:
             if status == 503:
                 raise ServiceUnavailable("injected fault: proxy unavailable")
@@ -158,6 +172,18 @@ def install_fault_plan(
     if engine is not None:
         engine.fault_hook = injector.storlet_hook()
     return injector
+
+
+def _request_scope(node: str, request: Request) -> str:
+    """Name the logical request for scope-keyed fault decisions.
+
+    Node + method + path + byte range uniquely identify a split's GET on
+    one replica regardless of when (or on which thread) it is issued.
+    """
+    span = request.headers.get("x-storlet-range") or request.headers.get(
+        "range", ""
+    )
+    return f"{node}|{request.method}|{request.path}|{span}"
 
 
 def _request_deadline(request: Request) -> Optional[float]:

@@ -2,21 +2,37 @@
 
 A :class:`FaultPlan` is the single source of truth for every injected
 fault in a chaos run: which rules exist, in which order they are
-consulted, and -- through one :mod:`random` stream per rule derived from
-the plan seed -- exactly which requests they fire on.  Replaying the
-same plan against the same workload therefore reproduces the same fault
+consulted, and exactly which requests they fire on.  Replaying the same
+plan against the same workload therefore reproduces the same fault
 sequence bit for bit, which is what lets the chaos tests assert
 byte-identical query results and exact retry budgets.
 
-Rules are pure data (frozen dataclasses); all mutable state (remaining
-trigger counts, RNG positions, the fault log) lives in the plan and is
+Decisions are **scope-keyed** so they survive thread interleaving: every
+consultation carries a *scope* string identifying the logical request
+(node, method, object path, byte range ... -- see
+:mod:`repro.faults.inject`), and the fire/no-fire draw is a pure
+function of ``(plan seed, rule index, scope, per-scope consult count)``
+computed with a keyed BLAKE2b digest (Python's builtin ``hash`` is
+salted per process and would not replay).  Two runs of the same workload
+consult each scope the same number of times in the same per-scope order
+no matter how the scheduler interleaves partitions, so the set of fired
+faults -- and therefore the query results -- is identical at any
+parallelism.  ``times`` budgets are likewise per scope: "this replica
+fails once for this request", not "the first N requests anywhere fail",
+because a global budget would be spent by whichever thread raced there
+first.  Legacy callers that pass no scope share the ``""`` scope and
+keep the old sequential semantics.
+
+Rules are pure data (frozen dataclasses); all mutable state (consult and
+fired counters, the fault log) lives in the plan behind one lock and is
 rebuilt by :meth:`FaultPlan.reset`.
 """
 
 from __future__ import annotations
 
-import random
-from dataclasses import dataclass, field
+import hashlib
+import threading
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, Union
 
 
@@ -26,8 +42,8 @@ class FlakyObjectServer:
 
     ``node=None`` matches every storage node; ``times=None`` keeps the
     rule firing forever (persistent flakiness), otherwise it disarms
-    after ``times`` triggers.  ``probability`` thins the rule with the
-    rule's own seeded RNG.
+    after ``times`` triggers per scope.  ``probability`` thins the rule
+    with the plan's seeded per-scope draw.
     """
 
     node: Optional[str] = None
@@ -99,6 +115,17 @@ class InjectedFault:
     detail: str
 
 
+def _draw(seed: int, index: int, scope: str, consult: int) -> float:
+    """Deterministic uniform draw in [0, 1) for one consultation.
+
+    A pure function of its arguments: no stream state, so concurrent
+    consultations of different scopes cannot perturb each other.
+    """
+    key = f"{seed}|{index}|{scope}|{consult}".encode("utf-8", "replace")
+    digest = hashlib.blake2b(key, digest_size=8).digest()
+    return int.from_bytes(digest, "big") / 2.0**64
+
+
 class FaultPlan:
     """An ordered set of fault rules plus the seeded state to apply them.
 
@@ -106,15 +133,20 @@ class FaultPlan:
     points -- object-server requests, proxy requests and storlet
     invocations -- and by the DES adapter
     (:func:`repro.faults.des.fault_timeline`) to derive an equivalent
-    simulated fault schedule from the same seed.
+    simulated fault schedule from the same seed.  All decision points are
+    thread-safe; see the module docstring for the determinism argument.
     """
 
     def __init__(self, seed: int = 20170417, faults: Tuple[FaultRule, ...] = ()):
         self.seed = seed
         self.faults: Tuple[FaultRule, ...] = tuple(faults)
         self.log: List[InjectedFault] = []
-        self._remaining: Dict[int, Optional[int]] = {}
-        self._rngs: Dict[int, random.Random] = {}
+        # One lock for every mutable map below.  It is a *leaf* lock in
+        # the system's lock hierarchy (docs/concurrency.md): nothing is
+        # called while holding it, so it cannot participate in a cycle.
+        self._lock = threading.RLock()
+        self._consults: Dict[Tuple[int, str], int] = {}
+        self._fired_counts: Dict[Tuple[int, str], int] = {}
         self._request_count = 0
         self._fired_losses: set = set()
         self.reset()
@@ -122,127 +154,142 @@ class FaultPlan:
     # -- lifecycle ---------------------------------------------------------
 
     def reset(self) -> None:
-        """Re-arm every rule and rewind every RNG; forget the log."""
-        self.log = []
-        self._request_count = 0
-        self._fired_losses = set()
-        self._remaining = {}
-        self._rngs = {}
-        for index, rule in enumerate(self.faults):
-            self._remaining[index] = getattr(rule, "times", None)
-            self._rngs[index] = random.Random(
-                self.seed * 1_000_003 + index * 97
-            )
+        """Re-arm every rule and rewind every counter; forget the log."""
+        with self._lock:
+            self.log = []
+            self._request_count = 0
+            self._fired_losses = set()
+            self._consults = {}
+            self._fired_counts = {}
 
     # -- decision points ----------------------------------------------------
 
     def on_request(self) -> List[DeviceLoss]:
         """Advance the cluster-request counter; return device losses due."""
-        self._request_count += 1
-        due = []
-        for index, rule in enumerate(self.faults):
-            if not isinstance(rule, DeviceLoss):
-                continue
-            if index in self._fired_losses:
-                continue
-            if self._request_count >= rule.at_request:
-                self._fired_losses.add(index)
-                self._record(
-                    "device-loss",
-                    f"device#{rule.device_index}",
-                    f"at_request={rule.at_request}",
-                )
-                due.append(rule)
-        return due
+        with self._lock:
+            self._request_count += 1
+            due = []
+            for index, rule in enumerate(self.faults):
+                if not isinstance(rule, DeviceLoss):
+                    continue
+                if index in self._fired_losses:
+                    continue
+                if self._request_count >= rule.at_request:
+                    self._fired_losses.add(index)
+                    self._record(
+                        "device-loss",
+                        f"device#{rule.device_index}",
+                        f"at_request={rule.at_request}",
+                    )
+                    due.append(rule)
+            return due
 
     def object_fault(
-        self, node: str, method: str
+        self, node: str, method: str, scope: str = ""
     ) -> Optional[Tuple[str, float]]:
         """First matching object-server fault for this request, if any.
 
         Returns ``("status", code)`` for an error response or
         ``("stall", seconds)`` for a slow replica.
         """
-        for index, rule in enumerate(self.faults):
-            if isinstance(rule, FlakyObjectServer):
-                if rule.node is not None and rule.node != node:
-                    continue
-                if rule.method != method:
-                    continue
-                if not self._fires(index, rule):
-                    continue
-                self._record(
-                    "object-error", node, f"{method} -> {rule.status}"
-                )
-                return ("status", float(rule.status))
-            if isinstance(rule, SlowObjectServer):
-                if rule.node is not None and rule.node != node:
-                    continue
-                if rule.method != method:
-                    continue
-                if not self._fires(index, rule):
-                    continue
-                self._record(
-                    "object-stall", node, f"{method} +{rule.stall_seconds}s"
-                )
-                return ("stall", rule.stall_seconds)
-        return None
+        with self._lock:
+            for index, rule in enumerate(self.faults):
+                if isinstance(rule, FlakyObjectServer):
+                    if rule.node is not None and rule.node != node:
+                        continue
+                    if rule.method != method:
+                        continue
+                    if not self._fires(index, rule, scope):
+                        continue
+                    self._record(
+                        "object-error", node, f"{method} -> {rule.status}"
+                    )
+                    return ("status", float(rule.status))
+                if isinstance(rule, SlowObjectServer):
+                    if rule.node is not None and rule.node != node:
+                        continue
+                    if rule.method != method:
+                        continue
+                    if not self._fires(index, rule, scope):
+                        continue
+                    self._record(
+                        "object-stall", node, f"{method} +{rule.stall_seconds}s"
+                    )
+                    return ("stall", rule.stall_seconds)
+            return None
 
-    def proxy_fault(self, method: str) -> Optional[int]:
+    def proxy_fault(self, method: str, scope: str = "") -> Optional[int]:
         """Status of an injected proxy-level rejection, if one fires."""
-        for index, rule in enumerate(self.faults):
-            if not isinstance(rule, FlakyProxy):
-                continue
-            if not self._fires(index, rule):
-                continue
-            self._record("proxy-error", "proxy", f"{method} -> {rule.status}")
-            return rule.status
-        return None
+        with self._lock:
+            for index, rule in enumerate(self.faults):
+                if not isinstance(rule, FlakyProxy):
+                    continue
+                if not self._fires(index, rule, scope):
+                    continue
+                self._record(
+                    "proxy-error", "proxy", f"{method} -> {rule.status}"
+                )
+                return rule.status
+            return None
 
-    def storlet_fault(self, storlet: str, node: str) -> Optional[str]:
+    def storlet_fault(
+        self, storlet: str, node: str, scope: str = ""
+    ) -> Optional[str]:
         """Reason token of an injected storlet failure, if one fires."""
-        for index, rule in enumerate(self.faults):
-            if not isinstance(rule, StorletCrash):
-                continue
-            if rule.storlet is not None and rule.storlet != storlet:
-                continue
-            if rule.node is not None and rule.node != node:
-                continue
-            if not self._fires(index, rule):
-                continue
-            self._record("storlet-fault", f"{storlet}@{node}", rule.reason)
-            return rule.reason
-        return None
+        with self._lock:
+            for index, rule in enumerate(self.faults):
+                if not isinstance(rule, StorletCrash):
+                    continue
+                if rule.storlet is not None and rule.storlet != storlet:
+                    continue
+                if rule.node is not None and rule.node != node:
+                    continue
+                if not self._fires(index, rule, scope):
+                    continue
+                self._record("storlet-fault", f"{storlet}@{node}", rule.reason)
+                return rule.reason
+            return None
 
     # -- observability ------------------------------------------------------
 
     def fingerprint(self) -> Tuple[Tuple[str, str, str], ...]:
-        """Order-preserving digest of every fault that fired; two runs of
-        the same plan against the same workload produce equal
-        fingerprints (the chaos determinism assertion)."""
-        return tuple(
-            (fault.kind, fault.target, fault.detail) for fault in self.log
-        )
+        """Canonically *sorted* digest of every fault that fired; two
+        runs of the same plan against the same workload produce equal
+        fingerprints (the chaos determinism assertion).  Sorted rather
+        than log-ordered because under a concurrent scheduler the same
+        set of faults fires in an interleaving-dependent order."""
+        with self._lock:
+            return tuple(
+                sorted(
+                    (fault.kind, fault.target, fault.detail)
+                    for fault in self.log
+                )
+            )
 
     def fired(self, kind: Optional[str] = None) -> int:
-        if kind is None:
-            return len(self.log)
-        return sum(1 for fault in self.log if fault.kind == kind)
+        with self._lock:
+            if kind is None:
+                return len(self.log)
+            return sum(1 for fault in self.log if fault.kind == kind)
 
     # -- internals ----------------------------------------------------------
 
-    def _fires(self, index: int, rule: FaultRule) -> bool:
-        remaining = self._remaining.get(index)
-        if remaining is not None and remaining <= 0:
+    def _fires(self, index: int, rule: FaultRule, scope: str) -> bool:
+        """One scope-keyed consultation of one rule (caller holds lock)."""
+        key = (index, scope)
+        consult = self._consults.get(key, 0)
+        self._consults[key] = consult + 1
+        times = getattr(rule, "times", None)
+        if times is not None and self._fired_counts.get(key, 0) >= times:
             return False
         probability = getattr(rule, "probability", 1.0)
         if probability < 1.0:
-            # Draw even for armed-but-unlucky rules so the stream
-            # position depends only on how often the rule was consulted.
-            if self._rngs[index].random() >= probability:
+            # Draw even for armed-but-unlucky rules so the decision
+            # depends only on how often this scope consulted this rule.
+            if _draw(self.seed, index, scope, consult) >= probability:
                 return False
-        if remaining is not None:
-            self._remaining[index] = remaining - 1
+        if times is not None:
+            self._fired_counts[key] = self._fired_counts.get(key, 0) + 1
         return True
 
     def _record(self, kind: str, target: str, detail: str) -> None:

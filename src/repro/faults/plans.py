@@ -42,17 +42,26 @@ def named_plan(name: str, seed: int = 20170417) -> FaultPlan:
             ),
         )
     if name == "flaky-object":
+        # Budgets are per scope (per replica of one logical request), so
+        # the worst case for any single request is one proxy rejection
+        # plus two rounds of every replica faulting: three failed
+        # attempts, strictly inside the client's default budget of four.
         return FaultPlan(
             seed=seed,
             faults=(
-                # A few one-shot replica errors early in the workload...
-                FlakyObjectServer(method="GET", status=503, times=3),
-                # ...a replica stalled past any sane request deadline...
+                # A sprinkling of one-shot replica errors...
+                FlakyObjectServer(
+                    method="GET", status=503, times=1, probability=0.3
+                ),
+                # ...replicas stalled past any sane request deadline...
                 SlowObjectServer(
-                    method="GET", stall_seconds=120.0, times=2
+                    method="GET",
+                    stall_seconds=120.0,
+                    times=1,
+                    probability=0.25,
                 ),
                 # ...and occasional transient proxy rejections.
-                FlakyProxy(status=503, times=2, probability=0.5),
+                FlakyProxy(status=503, times=1, probability=0.15),
             ),
         )
     if name == "storlet-crash":
@@ -60,20 +69,22 @@ def named_plan(name: str, seed: int = 20170417) -> FaultPlan:
             seed=seed,
             faults=(
                 # Persistent, probabilistic sandbox crashes of the CSV
-                # pushdown filter: with ~70% per-invocation failure on
+                # pushdown filter: with ~60% per-invocation failure on
                 # every node, some splits crash on all replicas and must
                 # degrade to plain reads (pushdown_fallbacks > 0).
                 StorletCrash(
                     storlet="csvstorlet",
                     reason="crash",
                     times=None,
-                    probability=0.7,
+                    probability=0.6,
                 ),
-                # One CPU-budget exhaustion for reason-token coverage.
+                # Occasional CPU-budget exhaustion (once per replica of
+                # a logical request) for reason-token coverage.
                 StorletCrash(
                     storlet="csvstorlet",
                     reason="cpu-exhausted",
                     times=1,
+                    probability=0.3,
                 ),
             ),
         )

@@ -11,6 +11,7 @@ as two stages, like Spark.
 from __future__ import annotations
 
 import itertools
+import threading
 from typing import (
     Any,
     Callable,
@@ -70,6 +71,10 @@ class RDD(Generic[T]):
         self.context = context
         self.dependencies: List[Dependency] = list(dependencies)
         self._cache: Optional[List[List[T]]] = None
+        # Guards the cache slots when concurrent tasks hit the same
+        # partition; computation happens outside the lock (it may issue
+        # store I/O), only slot reads/writes are serialized.
+        self._cache_lock = threading.Lock()
         self.name = type(self).__name__
 
     # -- to be provided by subclasses ------------------------------------
@@ -101,11 +106,17 @@ class RDD(Generic[T]):
     def iterator(self, split: int) -> Iterator[T]:
         """Compute or read-from-cache one partition."""
         if self._cache is not None:
-            while len(self._cache) < self.num_partitions():
-                self._cache.append(None)  # type: ignore[arg-type]
-            if self._cache[split] is None:
-                self._cache[split] = list(self.compute(split))
-            return iter(self._cache[split])
+            with self._cache_lock:
+                while len(self._cache) < self.num_partitions():
+                    self._cache.append(None)  # type: ignore[arg-type]
+                cached = self._cache[split]
+            if cached is None:
+                computed = list(self.compute(split))
+                with self._cache_lock:
+                    if self._cache[split] is None:
+                        self._cache[split] = computed
+                    cached = self._cache[split]
+            return iter(cached)
         return self.compute(split)
 
     def compute_batches(

@@ -66,12 +66,36 @@ class DataFrameReader:
 
 
 class SparkSession:
-    """Driver entry point pairing a context with a relation catalog."""
+    """Driver entry point pairing a context with a relation catalog.
 
-    def __init__(self, context: Optional[SparkContext] = None):
-        self.context = context or SparkContext()
+    ``parallelism`` sets the scheduler's task-pool size (how many
+    partition tasks of one stage run concurrently); with an existing
+    ``context`` it overrides that context's setting, otherwise it is
+    passed to the freshly created :class:`SparkContext`.  Results are
+    deterministically ordered at any parallelism (see
+    :mod:`repro.spark.scheduler`).
+    """
+
+    def __init__(
+        self,
+        context: Optional[SparkContext] = None,
+        parallelism: Optional[int] = None,
+    ):
+        if context is None:
+            context = SparkContext(parallelism=parallelism or 1)
+        elif parallelism is not None:
+            if parallelism < 1:
+                raise ValueError(
+                    f"parallelism must be >= 1: {parallelism}"
+                )
+            context.parallelism = parallelism
+        self.context = context
         self._catalog: Dict[str, BaseRelation] = {}
         self.last_pushdown: Optional[PushdownSpec] = None
+
+    @property
+    def parallelism(self) -> int:
+        return self.context.parallelism
 
     @property
     def read(self) -> DataFrameReader:

@@ -11,6 +11,7 @@ execution with record lookahead.
 from __future__ import annotations
 
 import json
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
@@ -90,9 +91,13 @@ class StorletEngine:
         self._max_output_bytes = max_output_bytes
         self._max_cpu_seconds = max_cpu_seconds
         self._max_wall_seconds = max_wall_seconds
-        #: Fault-injection hook ``(storlet, node, tier) -> None`` pushed
-        #: into every sandbox; may raise StorletFailure (chaos testing).
+        #: Fault-injection hook ``(storlet, node, tier, scope) -> None``
+        #: pushed into every sandbox; may raise StorletFailure (chaos
+        #: testing).  ``scope`` names the logical request so seeded
+        #: decisions replay under concurrency.
         self.fault_hook = None
+        # Guards lazy sandbox creation when tasks race to warm a node.
+        self._lock = threading.Lock()
 
     # -- deployment ----------------------------------------------------------
 
@@ -124,23 +129,25 @@ class StorletEngine:
     # -- sandboxes ------------------------------------------------------------
 
     def sandbox_for(self, node: str) -> Sandbox:
-        sandbox = self._sandboxes.get(node)
-        if sandbox is None:
-            sandbox = Sandbox(
-                node,
-                self._cost_model,
-                max_output_bytes=self._max_output_bytes,
-                max_cpu_seconds=self._max_cpu_seconds,
-                max_wall_seconds=self._max_wall_seconds,
-            )
-            self._sandboxes[node] = sandbox
+        with self._lock:
+            sandbox = self._sandboxes.get(node)
+            if sandbox is None:
+                sandbox = Sandbox(
+                    node,
+                    self._cost_model,
+                    max_output_bytes=self._max_output_bytes,
+                    max_cpu_seconds=self._max_cpu_seconds,
+                    max_wall_seconds=self._max_wall_seconds,
+                )
+                self._sandboxes[node] = sandbox
         # Re-applied on every lookup so a hook installed after sandboxes
         # were warmed (or uninstalled mid-run) still takes effect.
         sandbox.fault_hook = self.fault_hook
         return sandbox
 
     def all_sandboxes(self) -> Dict[str, Sandbox]:
-        return dict(self._sandboxes)
+        with self._lock:
+            return dict(self._sandboxes)
 
     def total_bytes(self) -> Tuple[int, int]:
         bytes_in = sum(s.stats.bytes_in for s in self._sandboxes.values())
@@ -270,6 +277,7 @@ class StorletMiddleware:
                 StorletInputStream(chunks),
                 parameters,
                 tier=self.tier,
+                scope=f"PUT|{request.path}",
             )
             invocations.append(invocation)
             chunks = invocation.chunks()
@@ -293,6 +301,13 @@ class StorletMiddleware:
     ) -> Response:
         parameters = dict(parameters)
         storlet_range = request.headers.get(StorletRequestHeaders.RANGE)
+        # Logical-request identity for scope-keyed fault decisions: path
+        # plus the *requested* byte range (stable across retries and
+        # thread interleavings, unlike arrival order).
+        scope = (
+            f"GET|{request.path}|"
+            f"{storlet_range or request.headers.get('range', '')}"
+        )
         if storlet_range is not None:
             start, end = _parse_byte_range(storlet_range)
             # Extend the physical read so the record straddling ``end``
@@ -333,6 +348,7 @@ class StorletMiddleware:
                     StorletInputStream(chunks, metadata),
                     parameters,
                     tier=self.tier,
+                    scope=scope,
                 )
                 chunks = invocation.chunks()
             # Prime the pipeline: pulling the first output chunk drives

@@ -15,6 +15,7 @@ resource-usage experiments (Fig. 9/10) can charge them to nodes:
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
@@ -124,6 +125,10 @@ class Sandbox:
         self.stats = SandboxStats()
         self.records: List[InvocationRecord] = []
         self._warm = False
+        # Guards stats / records / warm-up under concurrent invocations.
+        # A leaf lock: held only for counter arithmetic, never across a
+        # storlet's own code or any I/O (docs/concurrency.md).
+        self._lock = threading.Lock()
 
     def run(
         self,
@@ -131,6 +136,7 @@ class Sandbox:
         in_stream: StorletInputStream,
         parameters: Dict[str, str],
         tier: str = "object",
+        scope: str = "",
     ) -> StorletOutputStream:
         """Invoke ``storlet`` and drain it; returns its output stream.
 
@@ -138,7 +144,9 @@ class Sandbox:
         want the materialized result (tests, PUT-path ETL); the
         accounting still happens chunk by chunk as the stream drains.
         """
-        invocation = self.run_streaming(storlet, in_stream, parameters, tier)
+        invocation = self.run_streaming(
+            storlet, in_stream, parameters, tier, scope=scope
+        )
         out_stream = StorletOutputStream()
         for chunk in invocation.chunks():
             out_stream.write(chunk)
@@ -152,6 +160,7 @@ class Sandbox:
         in_stream: StorletInputStream,
         parameters: Dict[str, str],
         tier: str = "object",
+        scope: str = "",
     ) -> "StreamingInvocation":
         """Start ``storlet`` as a stream transformer.
 
@@ -169,17 +178,21 @@ class Sandbox:
         charging the memory overhead permanently -- matching the
         near-constant 4-6% memory the paper measured on storage nodes.
         """
-        if not self._warm:
-            self._warm = True
-            self.stats.memory_bytes += self.memory_overhead
+        with self._lock:
+            if not self._warm:
+                self._warm = True
+                self.stats.memory_bytes += self.memory_overhead
 
         # Fault injection fires at invocation start, before any data
         # flows -- so a failed pushdown never streams partial output.
+        # ``scope`` names the logical request so seeded chaos decisions
+        # stay deterministic under concurrent invocations.
         if self.fault_hook is not None:
             try:
-                self.fault_hook(storlet.name, self.node, tier)
+                self.fault_hook(storlet.name, self.node, tier, scope)
             except StorletException:
-                self.stats.errors += 1
+                with self._lock:
+                    self.stats.errors += 1
                 raise
 
         logger = StorletLogger(storlet.name)
@@ -193,7 +206,8 @@ class Sandbox:
                 bytes_in, bytes_out, filtered, projected
             )
             invocation.cpu_seconds += cost
-            self.stats.cpu_seconds += cost
+            with self._lock:
+                self.stats.cpu_seconds += cost
             if (
                 self.max_cpu_seconds is not None
                 and invocation.cpu_seconds > self.max_cpu_seconds
@@ -210,7 +224,8 @@ class Sandbox:
         def metered_input():
             for chunk in in_stream.iter_chunks():
                 invocation.bytes_read += len(chunk)
-                self.stats.bytes_in += len(chunk)
+                with self._lock:
+                    self.stats.bytes_in += len(chunk)
                 charge(len(chunk), 0)
                 yield chunk
 
@@ -232,7 +247,8 @@ class Sandbox:
                     if not chunk:
                         continue
                     invocation.bytes_written += len(chunk)
-                    self.stats.bytes_out += len(chunk)
+                    with self._lock:
+                        self.stats.bytes_out += len(chunk)
                     if (
                         self.max_output_bytes is not None
                         and invocation.bytes_written > self.max_output_bytes
@@ -248,10 +264,12 @@ class Sandbox:
                     charge(0, len(chunk))
                     yield chunk
             except StorletException:
-                self.stats.errors += 1
+                with self._lock:
+                    self.stats.errors += 1
                 raise
             except Exception as error:
-                self.stats.errors += 1
+                with self._lock:
+                    self.stats.errors += 1
                 raise StorletFailure(
                     f"{storlet.name} failed: {error}",
                     storlet=storlet.name,
@@ -263,7 +281,8 @@ class Sandbox:
                 self.max_wall_seconds is not None
                 and wall > self.max_wall_seconds
             ):
-                self.stats.errors += 1
+                with self._lock:
+                    self.stats.errors += 1
                 raise StorletFailure(
                     f"{storlet.name} missed the invocation deadline: "
                     f"{wall:.4f} > {self.max_wall_seconds} seconds",
@@ -271,19 +290,20 @@ class Sandbox:
                     node=self.node,
                     reason="deadline",
                 )
-            self.stats.invocations += 1
-            self.records.append(
-                InvocationRecord(
-                    storlet=storlet.name,
-                    node=self.node,
-                    tier=tier,
-                    bytes_in=invocation.bytes_read,
-                    bytes_out=invocation.bytes_written,
-                    cpu_seconds=invocation.cpu_seconds,
-                    wall_seconds=wall,
-                    parameters=dict(parameters),
+            with self._lock:
+                self.stats.invocations += 1
+                self.records.append(
+                    InvocationRecord(
+                        storlet=storlet.name,
+                        node=self.node,
+                        tier=tier,
+                        bytes_in=invocation.bytes_read,
+                        bytes_out=invocation.bytes_written,
+                        cpu_seconds=invocation.cpu_seconds,
+                        wall_seconds=wall,
+                        parameters=dict(parameters),
+                    )
                 )
-            )
 
         invocation.attach(accounted())
         return invocation

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.swift.exceptions import SwiftError
@@ -23,6 +24,13 @@ class SwiftClient:
     per-request deadline travels with the request as
     ``X-Request-Timeout``.  ``sleeper`` (e.g. ``time.sleep``) makes the
     backoff real; by default it is only recorded in :attr:`stats`.
+
+    The client is thread-safe: concurrent tasks share one instance.
+    ``max_connections`` models a bounded HTTP connection pool -- at most
+    that many requests are dispatched to the cluster at once, the rest
+    wait for a slot (``stats.pool_waits`` counts them).  The slot covers
+    the synchronous dispatch only; streamed response bodies are consumed
+    after release, so abandoned streams cannot leak connections.
     """
 
     def __init__(
@@ -31,12 +39,21 @@ class SwiftClient:
         account: str = "AUTH_test",
         retry_policy: Optional[RetryPolicy] = None,
         sleeper: Optional[Callable[[float], None]] = None,
+        max_connections: Optional[int] = None,
     ):
         self.cluster = cluster
         self.account = account
         self.retry_policy = retry_policy or RetryPolicy()
         self._sleeper = sleeper
         self.stats = ClientStats()
+        # Leaf lock guarding stats arithmetic (docs/concurrency.md).
+        self._stats_lock = threading.Lock()
+        self._pool = (
+            threading.Semaphore(max_connections)
+            if max_connections is not None
+            else None
+        )
+        self.max_connections = max_connections
         self.put_account()
 
     # -- raw access --------------------------------------------------------
@@ -63,20 +80,36 @@ class SwiftClient:
         response: Optional[Response] = None
         for attempt in range(policy.max_attempts):
             request = Request(method, path, merged.copy(), body, params)
-            response = self.cluster.handle_request(request)
-            self.stats.requests += 1
+            response = self._dispatch(request)
+            with self._stats_lock:
+                self.stats.requests += 1
             if not policy.retryable(response.status):
                 return response
             if attempt + 1 >= policy.max_attempts:
-                self.stats.exhausted += 1
+                with self._stats_lock:
+                    self.stats.exhausted += 1
                 return response
             delay = policy.delay(attempt)
-            self.stats.retries += 1
-            self.stats.backoff_seconds += delay
+            with self._stats_lock:
+                self.stats.retries += 1
+                self.stats.backoff_seconds += delay
             if self._sleeper is not None:
                 self._sleeper(delay)
         assert response is not None  # max_attempts >= 1
         return response
+
+    def _dispatch(self, request: Request) -> Response:
+        """Send one attempt through the bounded connection pool."""
+        if self._pool is None:
+            return self.cluster.handle_request(request)
+        if not self._pool.acquire(blocking=False):
+            with self._stats_lock:
+                self.stats.pool_waits += 1
+            self._pool.acquire()
+        try:
+            return self.cluster.handle_request(request)
+        finally:
+            self._pool.release()
 
     def _checked(self, response: Response, allowed=(200, 201, 202, 204, 206)):
         if response.status not in allowed:

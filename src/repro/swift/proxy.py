@@ -12,6 +12,7 @@ stores, and a set of proxies behind a round-robin "load balancer".
 from __future__ import annotations
 
 import itertools
+import threading
 from typing import Callable, Dict, List, Optional, Sequence, Set
 
 from repro.swift.backend import (
@@ -93,7 +94,7 @@ class ProxyApp:
                 try:
                     response = cluster.send_to_device(device, replica_request)
                 except (ServiceUnavailable, RequestTimeout) as error:
-                    cluster.counters["put_degraded"] += 1
+                    cluster.bump_counter("put_degraded")
                     if response is None:
                         response = Response(
                             error.status, body=str(error).encode("utf-8")
@@ -128,14 +129,14 @@ class ProxyApp:
                 except NotFound:
                     continue
                 except (ServiceUnavailable, RequestTimeout) as error:
-                    cluster.counters["get_failovers"] += 1
+                    cluster.bump_counter("get_failovers")
                     last_error = Response(
                         error.status, body=str(error).encode("utf-8")
                     )
                     continue
                 if response.ok or response.status in (206, 416):
                     return response
-                cluster.counters["get_failovers"] += 1
+                cluster.bump_counter("get_failovers")
                 last_error = response
             if last_error is not None:
                 return last_error
@@ -283,6 +284,7 @@ class SwiftCluster:
         auth_enabled: bool = False,
         proxy_middleware: Sequence[MiddlewareFactory] = (),
         object_middleware: Sequence[MiddlewareFactory] = (),
+        proxy_concurrency: Optional[int] = 8,
     ):
         if storage_node_count < 1:
             raise ValueError("need at least one storage node")
@@ -318,7 +320,24 @@ class SwiftCluster:
             "requests": 0,
             "get_failovers": 0,
             "put_degraded": 0,
+            # Admission-control observability: requests that found their
+            # proxy saturated and had to queue, and the highest number of
+            # requests ever in flight on one proxy.  Timing-dependent by
+            # nature -- useful for workload analysis, excluded from the
+            # determinism assertions.
+            "proxy_queue_waits": 0,
+            "proxy_peak_inflight": 0,
         }
+        # Guards the counters dict and the proxy round-robin cursor.  A
+        # leaf lock in the system hierarchy (docs/concurrency.md): held
+        # for arithmetic only, never while handling a request.
+        self._counter_lock = threading.Lock()
+        #: Per-proxy cap on concurrently admitted requests (None = no
+        #: cap).  Models the paper's over-subscribed proxies: requests
+        #: beyond the cap wait in the load balancer's queue instead of
+        #: being dispatched, so heavy traffic shows up as queueing, not
+        #: as unbounded concurrency inside one proxy.
+        self.proxy_concurrency = proxy_concurrency
         self._object_middleware = list(object_middleware)
         self._object_pipelines: Dict[str, App] = {
             name: build_pipeline(server, self._object_middleware)
@@ -342,14 +361,49 @@ class SwiftCluster:
             for i in range(self._proxy_count)
         ]
         self._proxy_cycle = itertools.cycle(range(len(self.proxies)))
+        limit = self.proxy_concurrency
+        self._admission: List[Optional[threading.Semaphore]] = [
+            threading.Semaphore(limit) if limit is not None else None
+            for _ in self.proxies
+        ]
+        self._inflight: List[int] = [0 for _ in self.proxies]
 
     # -- request entry points ------------------------------------------------
 
     def handle_request(self, request: Request) -> Response:
-        """Entry through the load balancer: round-robin over proxies."""
-        self.counters["requests"] += 1
-        proxy = self.proxies[next(self._proxy_cycle)]
-        return proxy.handle(request)
+        """Entry through the load balancer: round-robin over proxies.
+
+        Admission control: at most :attr:`proxy_concurrency` requests
+        are in flight per proxy; the rest wait here, modeling the
+        over-subscription the paper measured instead of ignoring it.
+        The slot covers the synchronous handle phase only -- response
+        bodies stream lazily *after* release, so an abandoned stream
+        (e.g. a satisfied LIMIT) can never leak a slot.
+        """
+        with self._counter_lock:
+            self.counters["requests"] += 1
+            index = next(self._proxy_cycle)
+        slot = self._admission[index]
+        if slot is not None and not slot.acquire(blocking=False):
+            with self._counter_lock:
+                self.counters["proxy_queue_waits"] += 1
+            slot.acquire()
+        try:
+            with self._counter_lock:
+                self._inflight[index] += 1
+                if self._inflight[index] > self.counters["proxy_peak_inflight"]:
+                    self.counters["proxy_peak_inflight"] = self._inflight[index]
+            return self.proxies[index].handle(request)
+        finally:
+            with self._counter_lock:
+                self._inflight[index] -= 1
+            if slot is not None:
+                slot.release()
+
+    def bump_counter(self, name: str, amount: int = 1) -> None:
+        """Atomically increment a resilience counter."""
+        with self._counter_lock:
+            self.counters[name] = self.counters.get(name, 0) + amount
 
     def send_to_device(self, device: Device, request: Request) -> Response:
         """Route a replica request into the owning node's object pipeline."""

@@ -94,9 +94,14 @@ class ClientStats:
     #: Final responses that were still a retryable error after the
     #: attempt budget ran out.
     exhausted: int = 0
+    #: Attempts that found the client's connection pool empty and had to
+    #: wait for a slot (timing-dependent; excluded from determinism
+    #: assertions).
+    pool_waits: int = 0
 
     def reset(self) -> None:
         self.requests = 0
         self.retries = 0
         self.backoff_seconds = 0.0
         self.exhausted = 0
+        self.pool_waits = 0

@@ -1,6 +1,7 @@
 """Tests for PushdownTask, the delegator and the adaptive controller."""
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.core import (
     AdaptivePushdownController,
@@ -56,6 +57,95 @@ class TestPushdownTask:
     def test_describe(self):
         task = PushdownTask(schema=SCHEMA, columns=["vid"])
         assert "csvstorlet" in task.describe()
+
+    def test_from_parameters_keeps_run_on_and_compress(self):
+        task = PushdownTask(
+            schema=SCHEMA,
+            columns=["vid"],
+            run_on="proxy",
+            compress=True,
+        )
+        restored = PushdownTask.from_parameters(
+            task.to_parameters(),
+            storlet=task.storlet,
+            run_on=task.run_on,
+            compress=task.compress,
+        )
+        assert restored.run_on == "proxy"
+        assert restored.compress is True
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        columns=st.one_of(
+            st.none(),
+            st.lists(
+                st.sampled_from(SCHEMA.names), min_size=1, unique=True
+            ),
+        ),
+        filters=st.lists(
+            st.one_of(
+                st.builds(
+                    EqualTo,
+                    st.sampled_from(SCHEMA.names),
+                    st.text(
+                        alphabet=st.characters(
+                            blacklist_characters=",\n\r",
+                            blacklist_categories=("Cs",),
+                        ),
+                        max_size=8,
+                    ),
+                ),
+                st.builds(
+                    StringStartsWith,
+                    st.sampled_from(SCHEMA.names),
+                    st.text(
+                        alphabet=st.characters(
+                            blacklist_characters=",\n\r",
+                            blacklist_categories=("Cs",),
+                        ),
+                        max_size=8,
+                    ),
+                ),
+            ),
+            max_size=3,
+        ),
+        has_header=st.booleans(),
+        delimiter=st.sampled_from([",", ";", "|", "\t"]),
+        run_on=st.sampled_from(["object", "proxy"]),
+        compress=st.booleans(),
+    )
+    def test_header_round_trip_property(
+        self, columns, filters, has_header, delimiter, run_on, compress
+    ):
+        """apply_to_headers -> from_headers is lossless, including the
+        run_on/compress flags that live outside the parameter headers."""
+        task = PushdownTask(
+            schema=SCHEMA,
+            columns=columns,
+            filters=filters,
+            has_header=has_header,
+            delimiter=delimiter,
+            run_on=run_on,
+            compress=compress,
+        )
+        headers = {}
+        task.apply_to_headers(headers)
+        restored = PushdownTask.from_headers(headers)
+        assert restored.schema == task.schema
+        # A projection naming every column is deliberately dropped from
+        # the wire format (it is a no-op at the storlet).
+        expected_columns = (
+            None
+            if columns is not None and len(columns) == len(SCHEMA)
+            else columns
+        )
+        assert restored.columns == expected_columns
+        assert restored.filters == task.filters
+        assert restored.has_header is has_header
+        assert restored.delimiter == delimiter
+        assert restored.storlet == task.storlet
+        assert restored.run_on == run_on
+        assert restored.compress is compress
 
 
 class TestDelegator:

@@ -119,7 +119,17 @@ class TestInjectedObjectFaults:
         client = SwiftClient(cluster, "AUTH_f")
         client.put_container("c")
         client.put_object("c", "o", b"payload")
-        plan = FaultPlan(faults=(FlakyObjectServer(method="GET", times=1),))
+        # ``times`` budgets are per scope (per replica of a logical
+        # request), so pin the one-shot rule to the primary replica's
+        # node to model exactly one failing replica.
+        _part, devices = cluster.object_ring.get_nodes("AUTH_f", "c", "o")
+        plan = FaultPlan(
+            faults=(
+                FlakyObjectServer(
+                    node=devices[0].node, method="GET", times=1
+                ),
+            )
+        )
         install_fault_plan(cluster, plan)
 
         _headers, body = client.get_object("c", "o")
