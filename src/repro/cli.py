@@ -14,6 +14,9 @@ Commands:
 ``chaos``
     Run the Table-I queries under a seeded fault plan and verify the
     results match a fault-free run (the resilience acceptance check).
+``trace``
+    Run one traced pushdown query and export every tier's spans as
+    JSON or Chrome ``trace_event`` format (chrome://tracing, Perfetto).
 """
 
 from __future__ import annotations
@@ -83,6 +86,29 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--meters", type=int, default=25)
     chaos.add_argument("--intervals", type=int, default=96)
     _add_resilience_options(chaos)
+
+    trace = commands.add_parser(
+        "trace",
+        help="run a traced pushdown query and export the spans",
+    )
+    trace.add_argument("--meters", type=int, default=25)
+    trace.add_argument("--intervals", type=int, default=96)
+    trace.add_argument(
+        "--format",
+        choices=("json", "chrome"),
+        default="json",
+        help=(
+            "json: span list + per-tier byte totals; chrome: "
+            "trace_event format for chrome://tracing / Perfetto"
+        ),
+    )
+    trace.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=None,
+        help="write the export to a file instead of stdout",
+    )
+    _add_resilience_options(trace)
     return parser
 
 
@@ -158,6 +184,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _queries()
     if args.command == "chaos":
         return _chaos(args)
+    if args.command == "trace":
+        return _trace(args)
     return 2  # pragma: no cover - argparse enforces the choices
 
 
@@ -235,6 +263,54 @@ def _chaos(args) -> int:
         print(f"FAIL: results diverged for {', '.join(mismatched)}")
         return 1
     print(f"OK: all {len(baseline)} queries byte-identical to baseline")
+    return 0
+
+
+def _trace(args) -> int:
+    import json
+
+    from repro.gridpocket import DatasetSpec, METER_SCHEMA, upload_dataset
+
+    ctx = _resilience_context(args, trace=True)
+    spec = DatasetSpec(
+        meters=args.meters, intervals=args.intervals, objects=3
+    )
+    upload_dataset(ctx.client, "meters", spec)
+    ctx.register_csv_table("largeMeter", "meters", schema=METER_SCHEMA)
+    _frame, report = ctx.run_query(
+        "SELECT vid, index, city FROM largeMeter "
+        "WHERE city LIKE 'Rotterdam'"
+    )
+
+    # The invariant the trace is for: connector span bytes reconcile
+    # exactly with the transfer metrics.
+    totals = ctx.tracer.byte_totals()
+    connector_bytes = totals.get("connector", {}).get("bytes_out", 0)
+    if connector_bytes != ctx.connector.metrics.bytes_transferred:
+        print(
+            "trace/metrics mismatch: "
+            f"{connector_bytes} != "
+            f"{ctx.connector.metrics.bytes_transferred}",
+            file=sys.stderr,
+        )
+        return 1
+
+    if args.format == "chrome":
+        exported = ctx.tracer.export_chrome()
+    else:
+        exported = ctx.tracer.export_json()
+    text = json.dumps(exported, indent=2)
+    if args.out is not None:
+        args.out.write_text(text + "\n")
+    else:
+        print(text)
+    span_count = len(ctx.tracer.snapshot())
+    print(
+        f"{span_count} spans across {len(totals)} tiers; "
+        f"query moved {report.bytes_transferred:,} bytes "
+        f"(selectivity {report.data_selectivity:.1%})",
+        file=sys.stderr,
+    )
     return 0
 
 

@@ -2,16 +2,21 @@
 
 from __future__ import annotations
 
+import logging
 import threading
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.core.pushdown import PushdownTask
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.trace import TRACE_HEADER, Span, get_collector
 from repro.storlets.api import StorletFailure, StorletInputStream
 from repro.storlets.engine import StorletRequestHeaders
 from repro.swift.client import SwiftClient
 from repro.swift.exceptions import RangeNotSatisfiable, SwiftError
 from repro.swift.http import HeaderDict
+
+logger = logging.getLogger("repro.connector")
 
 
 class PushdownError(SwiftError):
@@ -95,6 +100,12 @@ class TransferMetrics:
     #: Pushdown reads that degraded to a plain GET + compute-side filter
     #: after a runtime storlet failure.
     pushdown_fallbacks: int = 0
+    #: Mirror target for the unified registry; increments are forwarded
+    #: here so ``MetricsRegistry.snapshot()`` sees connector traffic
+    #: without changing this class's public API.
+    registry: Optional[MetricsRegistry] = field(
+        default=None, repr=False, compare=False
+    )
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
@@ -110,15 +121,22 @@ class TransferMetrics:
             self.bytes_requested += requested
             if pushdown:
                 self.pushdown_requests += 1
+        registry = self.registry or get_registry()
+        registry.inc("connector.requests", pushdown=pushdown)
+        registry.inc("connector.bytes_requested", requested)
 
     def record_bytes(self, transferred: int) -> None:
         """Charge bytes as they cross the wire, one chunk at a time."""
         with self._lock:
             self.bytes_transferred += transferred
+        (self.registry or get_registry()).inc(
+            "connector.bytes_transferred", transferred
+        )
 
     def record_fallback(self) -> None:
         with self._lock:
             self.pushdown_fallbacks += 1
+        (self.registry or get_registry()).inc("connector.pushdown_fallbacks")
 
     def totals(self) -> Tuple[int, int, int, int, int]:
         """Consistent snapshot of every counter, for cross-run equality
@@ -174,6 +192,9 @@ class StocatorConnector:
         # at least the maximum record length.
         self.range_lookahead = range_lookahead
         self.metrics = TransferMetrics()
+        #: ``(container, name, reason)`` for every object discovery
+        #: declined to split (zero-length / missing content-length).
+        self.skipped_objects: List[Tuple[str, str, str]] = []
 
     # -- partition discovery ---------------------------------------------
 
@@ -185,14 +206,36 @@ class StocatorConnector:
         Mirrors Hadoop RDD partition discovery: total size divided by the
         chunk size, one task per split.  Happens before any query is
         known (paper Section V-B).
+
+        Objects that yield no split -- zero-length objects, or HEAD
+        responses missing ``content-length`` entirely -- are *counted and
+        logged* rather than silently dropped (no silent caps): see the
+        ``connector.objects_skipped{reason=...}`` registry counter and
+        :attr:`skipped_objects`.
         """
+        registry = self.metrics.registry or get_registry()
         splits: List[ObjectSplit] = []
         index = 0
         for name in self.client.list_objects(container, prefix=prefix):
             headers = self.client.head_object(container, name)
-            size = int(headers.get("content-length", "0"))
-            if size == 0:
+            raw_size = headers.get("content-length")
+            if raw_size is None:
+                reason = "missing-content-length"
+            elif int(raw_size) == 0:
+                reason = "zero-length"
+            else:
+                reason = ""
+            if reason:
+                self.skipped_objects.append((container, name, reason))
+                registry.inc("connector.objects_skipped", reason=reason)
+                logger.warning(
+                    "discover_partitions skipping /%s/%s: %s",
+                    container,
+                    name,
+                    reason,
+                )
                 continue
+            size = int(raw_size)
             start = 0
             while start < size:
                 length = min(self.chunk_size, size - start)
@@ -221,89 +264,116 @@ class StocatorConnector:
         data.  Bytes are charged to :attr:`metrics` per chunk as the
         stream is consumed, never all at once.
         """
-        if task is not None and not task.is_noop():
-            headers: Dict[str, str] = {}
-            task.apply_to_headers(headers)
-            headers[StorletRequestHeaders.RANGE] = (
-                f"bytes={split.start}-{split.end}"
-            )
-            try:
-                response = self.client.get_object_stream(
-                    split.container, split.name, headers=headers
+        tracer = get_collector()
+        pushdown = task is not None and not task.is_noop()
+        trace_id = tracer.new_trace_id() if tracer.enabled else ""
+        span = tracer.start(
+            "connector",
+            "pushdown_get" if pushdown else "plain_get",
+            trace_id=trace_id,
+            container=split.container,
+            object=split.name,
+            split_index=split.index,
+            range_start=split.start,
+            range_length=split.length,
+            pushdown=pushdown,
+        )
+        try:
+            if pushdown:
+                headers: Dict[str, str] = {}
+                task.apply_to_headers(headers)
+                headers[StorletRequestHeaders.RANGE] = (
+                    f"bytes={split.start}-{split.end}"
                 )
-            except SwiftError as error:
-                failure_reason = (
-                    getattr(error, "headers", None) or {}
-                ).get(StorletRequestHeaders.FAILURE)
-                if failure_reason:
-                    # The storlet itself failed at runtime on every
-                    # replica; the data is intact, so the caller may
-                    # degrade to a plain GET + compute-side filter.
+                if trace_id:
+                    headers[TRACE_HEADER] = trace_id
+                try:
+                    response = self.client.get_object_stream(
+                        split.container, split.name, headers=headers
+                    )
+                except SwiftError as error:
+                    failure_reason = (
+                        getattr(error, "headers", None) or {}
+                    ).get(StorletRequestHeaders.FAILURE)
+                    if failure_reason:
+                        # The storlet itself failed at runtime on every
+                        # replica; the data is intact, so the caller may
+                        # degrade to a plain GET + compute-side filter.
+                        raise PushdownError(
+                            f"pushdown storlet {task.storlet!r} failed "
+                            f"({failure_reason}) for "
+                            f"/{split.container}/{split.name} "
+                            f"bytes {split.start}-{split.end}: {error}",
+                            container=split.container,
+                            name=split.name,
+                            byte_range=(split.start, split.end),
+                            storlet=task.storlet,
+                            reason=failure_reason,
+                            degradable=True,
+                        ) from error
                     raise PushdownError(
-                        f"pushdown storlet {task.storlet!r} failed "
-                        f"({failure_reason}) for "
+                        f"pushdown GET failed for "
                         f"/{split.container}/{split.name} "
                         f"bytes {split.start}-{split.end}: {error}",
                         container=split.container,
                         name=split.name,
                         byte_range=(split.start, split.end),
                         storlet=task.storlet,
-                        reason=failure_reason,
-                        degradable=True,
+                        reason=f"http-{error.status}",
+                        degradable=False,
                     ) from error
-                raise PushdownError(
-                    f"pushdown GET failed for "
-                    f"/{split.container}/{split.name} "
-                    f"bytes {split.start}-{split.end}: {error}",
-                    container=split.container,
-                    name=split.name,
-                    byte_range=(split.start, split.end),
-                    storlet=task.storlet,
-                    reason=f"http-{error.status}",
-                    degradable=False,
-                ) from error
-            if StorletRequestHeaders.INVOKED not in response.headers:
-                # Nothing intercepted the request: the store has no
-                # storlet engine (or the filter is not deployed).  Parsing
-                # raw data with the pruned schema would silently corrupt
-                # results, so fail loudly.
-                raise PushdownError(
-                    f"pushdown task {task.storlet!r} was not executed by "
-                    f"the object store for /{split.container}/{split.name}; "
-                    "is the storlet middleware installed and the filter "
-                    "deployed?",
-                    container=split.container,
-                    name=split.name,
-                    byte_range=(split.start, split.end),
-                    storlet=task.storlet,
-                    reason="not-executed",
-                    degradable=False,
+                if StorletRequestHeaders.INVOKED not in response.headers:
+                    # Nothing intercepted the request: the store has no
+                    # storlet engine (or the filter is not deployed).
+                    # Parsing raw data with the pruned schema would
+                    # silently corrupt results, so fail loudly.
+                    raise PushdownError(
+                        f"pushdown task {task.storlet!r} was not executed "
+                        f"by the object store for "
+                        f"/{split.container}/{split.name}; "
+                        "is the storlet middleware installed and the "
+                        "filter deployed?",
+                        container=split.container,
+                        name=split.name,
+                        byte_range=(split.start, split.end),
+                        storlet=task.storlet,
+                        reason="not-executed",
+                        degradable=False,
+                    )
+                self.metrics.record_request(split.length, pushdown=True)
+                return response.headers, self._metered(
+                    response.iter_body(), split, task, span
                 )
-            self.metrics.record_request(split.length, pushdown=True)
-            return response.headers, self._metered(
-                response.iter_body(), split, task
-            )
 
-        end = min(split.end + self.range_lookahead, split.object_size - 1)
-        try:
-            response = self.client.get_object_stream(
-                split.container,
-                split.name,
-                byte_range=(split.start, end),
+            end = min(split.end + self.range_lookahead, split.object_size - 1)
+            extra: Dict[str, str] = (
+                {TRACE_HEADER: trace_id} if trace_id else {}
             )
-        except RangeNotSatisfiable:
+            try:
+                response = self.client.get_object_stream(
+                    split.container,
+                    split.name,
+                    byte_range=(split.start, end),
+                    headers=extra,
+                )
+            except RangeNotSatisfiable:
+                self.metrics.record_request(split.length, pushdown=False)
+                tracer.finish(span, status="range-not-satisfiable")
+                return HeaderDict(), iter(())
             self.metrics.record_request(split.length, pushdown=False)
-            return HeaderDict(), iter(())
-        self.metrics.record_request(split.length, pushdown=False)
-        return response.headers, self._metered(
-            response.iter_body(), split, None
-        )
+            return response.headers, self._metered(
+                response.iter_body(), split, None, span
+            )
+        except PushdownError as error:
+            tracer.finish(span, status="error", reason=error.reason)
+            raise
 
     def _metered(
         self,
         chunks: Iterable[bytes],
         split: ObjectSplit,
         task: Optional[PushdownTask],
+        span: Optional[Span] = None,
     ) -> Iterator[bytes]:
         """Charge transferred bytes chunk-by-chunk as they are consumed.
 
@@ -312,13 +382,23 @@ class StocatorConnector:
         first bytes flowed) is re-raised as a degradable
         :class:`PushdownError` so the caller's fallback path still
         engages.
+
+        The connector span stays open while the body streams (the data
+        plane is lazy) and is finalized here, from the ``finally``
+        block, carrying *exactly* the bytes that were consumed -- which
+        is what makes trace byte totals reconcile with
+        :class:`TransferMetrics`.
         """
         storlet = task.storlet if task is not None else ""
+        consumed = 0
+        status = "ok"
         try:
             for chunk in chunks:
+                consumed += len(chunk)
                 self.metrics.record_bytes(len(chunk))
                 yield chunk
         except StorletFailure as failure:
+            status = "error"
             raise PushdownError(
                 f"pushdown storlet {storlet!r} failed mid-stream "
                 f"({failure.reason}) for /{split.container}/{split.name} "
@@ -330,6 +410,15 @@ class StocatorConnector:
                 reason=failure.reason,
                 degradable=True,
             ) from failure
+        except BaseException:
+            status = "error"
+            raise
+        finally:
+            if span is not None:
+                span.bytes_out = consumed
+                get_collector().finish(
+                    span, status=None if status == "ok" else status
+                )
 
     def read_split_raw(
         self, split: ObjectSplit, task: Optional[PushdownTask] = None

@@ -26,6 +26,8 @@ from typing import Dict, List, Optional, Tuple, Union
 from repro.connector.stocator import StocatorConnector
 from repro.core.delegator import AnalyticsDelegator
 from repro.core.policies import AdaptivePushdownController
+from repro.obs.metrics import MetricsRegistry, set_registry
+from repro.obs.trace import TraceCollector, set_collector
 from repro.spark.csv_source import CsvRelation
 from repro.spark.dataframe import DataFrame
 from repro.spark.scheduler import SparkContext
@@ -80,6 +82,7 @@ class ScoopContext:
         max_task_attempts: int = 3,
         parallelism: Optional[int] = None,
         proxy_concurrency: Optional[int] = 8,
+        trace: Optional[bool] = None,
     ):
         # Scheduler pool size: how many partition tasks run at once.
         # Defaults to the REPRO_PARALLELISM env var (CI runs the whole
@@ -87,6 +90,15 @@ class ScoopContext:
         if parallelism is None:
             parallelism = int(os.environ.get("REPRO_PARALLELISM", "1"))
         self.parallelism = parallelism
+        # Observability: each context installs a fresh span collector
+        # and metrics registry so counters and traces never bleed
+        # between stacks built in the same process (every tier resolves
+        # get_collector()/get_registry() at call time).  ``trace=None``
+        # defers to the REPRO_TRACE env var; True/False force it.
+        if trace is None:
+            trace = os.environ.get("REPRO_TRACE", "") not in ("", "0")
+        self.tracer = set_collector(TraceCollector(enabled=trace))
+        self.registry = set_registry(MetricsRegistry())
         self.engine = StorletEngine()
         self.cluster = SwiftCluster(
             storage_node_count=storage_node_count,
@@ -108,6 +120,9 @@ class ScoopContext:
             max_connections=max(4, parallelism * 2),
         )
         self.connector = StocatorConnector(self.client, chunk_size=chunk_size)
+        # Pin the connector's mirror target so this context's boundary
+        # counters survive a later context replacing the global registry.
+        self.connector.metrics.registry = self.registry
         self.spark_context = SparkContext(
             "scoop",
             num_workers=num_workers,
@@ -117,6 +132,7 @@ class ScoopContext:
         self.session = SparkSession(self.spark_context)
         self.controller = controller
         self.delegator = AnalyticsDelegator(controller)
+        self._last_report: Optional[QueryRunReport] = None
 
         # Deploy the stock pushdown/ETL filters (stored as regular objects).
         self.engine.deploy(CsvStorlet(), self.client)
@@ -231,6 +247,7 @@ class ScoopContext:
             pushdown_requests=metrics.pushdown_requests - before[3],
             pushdown_fallbacks=metrics.pushdown_fallbacks - before[4],
         )
+        self._last_report = report
         return frame, report
 
     def run_aggregation_query(
@@ -269,6 +286,7 @@ class ScoopContext:
             pushdown_requests=metrics.pushdown_requests - before[3],
             pushdown_fallbacks=metrics.pushdown_fallbacks - before[4],
         )
+        self._last_report = report
         return (result_schema, rows), report
 
     def make_adaptive_controller(
@@ -343,6 +361,74 @@ class ScoopContext:
                 "proxy_peak_inflight"
             ],
         }
+
+    def explain_profile(
+        self,
+        report: Optional[QueryRunReport] = None,
+        predicted_selectivity: Optional[float] = None,
+    ) -> Dict[str, object]:
+        """Where the bytes went, tier by tier, for the work so far.
+
+        Pulls every observability surface into one dict:
+
+        ``tiers``
+            Per-tier ``{bytes_in, bytes_out, spans}`` from the trace
+            collector (empty when tracing is disabled -- pass
+            ``trace=True`` to the constructor or set ``REPRO_TRACE=1``).
+        ``selectivity``
+            ``achieved`` is the fraction of requested bytes the store
+            discarded (for ``report`` -- defaulting to the last
+            ``run_query`` -- and cumulatively); ``predicted`` is the
+            adaptive controller's latest online estimate when one is
+            installed, or the explicit override.
+        ``storlet_cpu_seconds``
+            CPU charged to storage-node sandboxes.
+        ``retry``
+            The backoff schedule the client *actually slept through*
+            (``schedule_taken``, seconds, in order), plus retry and
+            exhaustion counts.
+        ``skipped_objects``
+            Partitioning skips: ``(container, object, reason)``.
+        """
+        if report is None:
+            report = self._last_report
+        if (
+            predicted_selectivity is None
+            and self.controller is not None
+            and self.controller.decisions
+        ):
+            predicted_selectivity = self.controller.decisions[
+                -1
+            ].estimated_selectivity
+        metrics = self.connector.metrics
+        cumulative = 0.0
+        if metrics.bytes_requested > 0:
+            cumulative = max(
+                0.0,
+                1.0 - metrics.bytes_transferred / metrics.bytes_requested,
+            )
+        stats = self.client.stats
+        profile: Dict[str, object] = {
+            "tiers": self.tracer.byte_totals(),
+            "trace_spans": len(self.tracer.snapshot()),
+            "selectivity": {
+                "achieved": (
+                    report.data_selectivity if report is not None else None
+                ),
+                "achieved_cumulative": cumulative,
+                "predicted": predicted_selectivity,
+            },
+            "storlet_cpu_seconds": self.storage_cpu_seconds(),
+            "retry": {
+                "schedule_taken": list(stats.delays),
+                "retries": stats.retries,
+                "exhausted": stats.exhausted,
+            },
+            "skipped_objects": list(self.connector.skipped_objects),
+        }
+        if self.fault_plan is not None:
+            profile["faults_injected"] = self.fault_plan.fired()
+        return profile
 
     def storage_cpu_seconds(self) -> float:
         """Total CPU charged to storage-node sandboxes so far."""

@@ -35,6 +35,9 @@ import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, Union
 
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_collector
+
 
 @dataclass(frozen=True)
 class FlakyObjectServer:
@@ -300,6 +303,14 @@ class FaultPlan:
                 target=target,
                 detail=detail,
             )
+        )
+        # Mirror into the unified observability layer: a counter per
+        # fault kind, and an instantaneous trace event so injections
+        # line up with the spans they perturbed.  Both sinks are leaf
+        # locks, so calling them under the plan lock cannot deadlock.
+        get_registry().inc("faults.injected", kind=kind)
+        get_collector().record_event(
+            "faults", kind, target=target, detail=detail
         )
 
     def __repr__(self) -> str:

@@ -1,0 +1,37 @@
+"""Request-scoped tracing and unified metrics (docs/observability.md).
+
+The paper's headline claims are measurements -- bytes discarded at the
+store vs. shipped over the constrained link, storlet CPU on storage
+nodes, retry behaviour under faults -- so the reproduction needs to
+attribute costs per tier for a single GET the way PushdownDB does for
+S3-side vs. compute-side work.  This package provides the two shared
+primitives every tier hooks into:
+
+* :mod:`repro.obs.trace` -- spans propagated via the ``X-Trace-Id``
+  header from the Stocator connector down to the object backend, plus
+  JSON and Chrome ``trace_event`` exporters;
+* :mod:`repro.obs.metrics` -- a process-wide registry of labelled
+  counters/gauges/histograms that absorbs the ad-hoc counters
+  (``TransferMetrics``, ``ClientStats``, cluster counters, sandbox
+  stats) without changing their public APIs.
+"""
+
+from repro.obs.metrics import MetricsRegistry, get_registry, set_registry
+from repro.obs.trace import (
+    TRACE_HEADER,
+    Span,
+    TraceCollector,
+    get_collector,
+    set_collector,
+)
+
+__all__ = [
+    "TRACE_HEADER",
+    "Span",
+    "TraceCollector",
+    "MetricsRegistry",
+    "get_collector",
+    "set_collector",
+    "get_registry",
+    "set_registry",
+]

@@ -1,0 +1,169 @@
+"""A process-wide registry of labelled counters, gauges and histograms.
+
+The repo accumulated one ad-hoc counter bundle per tier --
+:class:`~repro.connector.stocator.TransferMetrics`,
+:class:`~repro.swift.retry.ClientStats`, the cluster's ``counters``
+dict, :class:`~repro.storlets.sandbox.SandboxStats`, scheduler task
+logs -- each with its own locking and snapshot idiom.  The registry
+unifies them under one naming scheme (``tier.metric`` plus labels,
+Prometheus-style) *without replacing them*: the legacy objects keep
+their public APIs (``resilience_summary``/``concurrency_summary`` stay
+byte-identical) and simply mirror their increments here, so one
+``snapshot()`` shows the whole system.
+
+Thread-safety: one leaf lock guards all three maps; it is held for
+dict arithmetic only, never across I/O (docs/concurrency.md).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, Any]) -> LabelKey:
+    return tuple(sorted((key, str(value)) for key, value in labels.items()))
+
+
+@dataclass
+class HistogramStats:
+    """Summary statistics for one labelled histogram series."""
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float = field(default=float("inf"))
+    maximum: float = field(default=float("-inf"))
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, float]:
+        if not self.count:
+            return {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.mean(),
+        }
+
+
+class MetricsRegistry:
+    """Counters (monotonic), gauges (last value) and histograms, all
+    keyed by ``(name, sorted labels)``."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: Dict[Tuple[str, LabelKey], float] = {}
+        self._gauges: Dict[Tuple[str, LabelKey], float] = {}
+        self._histograms: Dict[Tuple[str, LabelKey], HistogramStats] = {}
+
+    # -- write side ---------------------------------------------------------
+
+    def inc(self, name: str, amount: float = 1.0, **labels: Any) -> None:
+        """Add ``amount`` to the counter ``name{labels}``."""
+        key = (name, _label_key(labels))
+        with self._lock:
+            self._counters[key] = self._counters.get(key, 0.0) + amount
+
+    def set_gauge(self, name: str, value: float, **labels: Any) -> None:
+        key = (name, _label_key(labels))
+        with self._lock:
+            self._gauges[key] = float(value)
+
+    def observe(self, name: str, value: float, **labels: Any) -> None:
+        """Record one sample into the histogram ``name{labels}``."""
+        key = (name, _label_key(labels))
+        with self._lock:
+            stats = self._histograms.get(key)
+            if stats is None:
+                stats = self._histograms[key] = HistogramStats()
+            stats.observe(float(value))
+
+    # -- read side -----------------------------------------------------------
+
+    def counter_value(self, name: str, **labels: Any) -> float:
+        """Current value of one labelled counter series (0 if unseen)."""
+        with self._lock:
+            return self._counters.get((name, _label_key(labels)), 0.0)
+
+    def counter_total(self, name: str) -> float:
+        """Sum of a counter across all label sets."""
+        with self._lock:
+            return sum(
+                value
+                for (counter, _labels), value in self._counters.items()
+                if counter == name
+            )
+
+    def gauge_value(self, name: str, **labels: Any) -> Optional[float]:
+        with self._lock:
+            return self._gauges.get((name, _label_key(labels)))
+
+    def histogram(self, name: str, **labels: Any) -> HistogramStats:
+        with self._lock:
+            return self._histograms.get(
+                (name, _label_key(labels)), HistogramStats()
+            )
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Everything, as plain JSON-ready data.
+
+        Series names render as ``name{k=v,...}`` (sorted labels), so the
+        snapshot is deterministic for a deterministic workload.
+        """
+        with self._lock:
+            return {
+                "counters": {
+                    _render(name, labels): value
+                    for (name, labels), value in sorted(self._counters.items())
+                },
+                "gauges": {
+                    _render(name, labels): value
+                    for (name, labels), value in sorted(self._gauges.items())
+                },
+                "histograms": {
+                    _render(name, labels): stats.to_dict()
+                    for (name, labels), stats in sorted(
+                        self._histograms.items()
+                    )
+                },
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+def _render(name: str, labels: LabelKey) -> str:
+    if not labels:
+        return name
+    rendered = ",".join(f"{key}={value}" for key, value in labels)
+    return f"{name}{{{rendered}}}"
+
+
+_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry (tiers built without an
+    explicit registry mirror into this one)."""
+    return _registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    global _registry
+    _registry = registry
+    return registry

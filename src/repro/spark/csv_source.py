@@ -21,6 +21,7 @@ from repro.connector.stocator import (
     StocatorConnector,
 )
 from repro.core.pushdown import PushdownTask
+from repro.obs.trace import get_collector
 from repro.sql.filters import Filter, conjunction_predicate
 from repro.sql.types import DataType, Field, Row, Schema
 from repro.spark.datasources import PrunedFilteredScan
@@ -72,6 +73,7 @@ class CsvScanRDD(RDD[Row]):
         except PushdownError as error:
             if not error.degradable:
                 raise
+            degrade_reason = error.reason
         # The storlet failed at runtime (possibly mid-stream, since the
         # sandbox charges its budgets chunk-by-chunk) but the stored
         # bytes are intact: degrade to a plain ranged GET with the
@@ -79,6 +81,13 @@ class CsvScanRDD(RDD[Row]):
         # row stream identical to the pushdown stream, so rows already
         # emitted before the failure are skipped, not duplicated.
         self.connector.metrics.record_fallback()
+        get_collector().record_event(
+            "connector",
+            "pushdown_degraded",
+            split_index=split.index,
+            reason=degrade_reason,
+            rows_before_failure=emitted,
+        )
         skipped = 0
         for row in self._plain_rows(split, apply_task_filters=True):
             if skipped < emitted:

@@ -34,6 +34,8 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_collector
 from repro.spark.batch import DEFAULT_BATCH_ROWS, RecordBatch
 from repro.spark.rdd import (
     NarrowDependency,
@@ -516,6 +518,23 @@ class SparkContext:
     def _log_task(self, metrics: TaskMetrics) -> None:
         with self._log_lock:
             self.task_log.append(metrics)
+        registry = get_registry()
+        registry.inc("scheduler.tasks", status=metrics.status)
+        registry.observe("scheduler.task_seconds", metrics.duration_seconds)
+        if metrics.rows >= 0:
+            registry.inc("scheduler.rows", metrics.rows)
+        get_collector().record_complete(
+            "scheduler",
+            f"task:{metrics.rdd_name}",
+            metrics.duration_seconds,
+            status=metrics.status,
+            stage_id=metrics.stage_id,
+            task_id=metrics.task_id,
+            partition=metrics.partition,
+            worker=metrics.worker,
+            rows=metrics.rows,
+            attempt=metrics.attempt,
+        )
 
     def _next_stage_id(self) -> int:
         with self._id_lock:

@@ -14,9 +14,16 @@ tasks cover every record exactly once:
 * the middleware supplies lookahead bytes past the range end so the last
   owned record can be completed.
 
-Records are newline-delimited; quoted fields are supported via the csv
-module, but embedded newlines are not (matching Spark-CSV 1.x, which
-reads through Hadoop's TextInputFormat).
+Record framing is quote-aware (RFC 4180): a newline inside a quoted
+field does *not* terminate the record, so fields with embedded newlines
+parse as one record -- framing and :func:`_parse_record` agree.  One
+inherited limitation remains: a *split boundary* that bisects a quoted
+field cannot be re-synchronized (the scanner entering mid-field cannot
+know it is inside quotes), exactly as with Hadoop's TextInputFormat;
+writers that need parallel ranged reads should keep records smaller
+than the chunk size, which partitioning guarantees for sane data.
+Chunk boundaries (within one range read) inside quoted fields are fully
+supported -- the quote state carries across buffer refills.
 """
 
 from __future__ import annotations
@@ -199,22 +206,38 @@ def _owned_lines(
       range will discard it (Hadoop's ``pos <= end`` loop).
 
     Together these guarantee each record is owned by exactly one range.
+
+    Framing is quote-aware (RFC 4180): a ``\\n`` between an odd number
+    of double quotes is *inside* a quoted field and does not terminate
+    the record.  The quote parity carries across chunk refills, so a
+    quoted field may straddle any number of stream chunks.  (A *range*
+    boundary inside a quoted field is not recoverable -- see the module
+    docstring.)
     """
     buffer = b""
     offset = 0  # stream offset of buffer[0]
     skipping_first = range_start > 0
     chunks = in_stream.iter_chunks()
     exhausted = False
+    # Quote-scan state, relative to the current buffer: everything
+    # before scan_pos has been classified, and in_quotes says whether
+    # scan_pos currently sits inside a quoted field.
+    scan_pos = 0
+    in_quotes = False
 
     while True:
-        newline = buffer.find(b"\n")
+        newline, scan_pos, in_quotes = _find_record_end(
+            buffer, scan_pos, in_quotes
+        )
         while newline < 0 and not exhausted:
             try:
                 buffer += next(chunks)
             except StopIteration:
                 exhausted = True
                 break
-            newline = buffer.find(b"\n")
+            newline, scan_pos, in_quotes = _find_record_end(
+                buffer, scan_pos, in_quotes
+            )
 
         if newline < 0:
             # Trailing record without newline at end of object.
@@ -226,15 +249,56 @@ def _owned_lines(
         line, buffer = buffer[:newline], buffer[newline + 1 :]
         line_start = offset
         offset = line_start + newline + 1
+        # The scanner consumed exactly up to the record boundary; a new
+        # record always starts outside quotes.
+        scan_pos = 0
+        in_quotes = False
 
         if skipping_first:
-            # Everything up to the first newline belongs to the previous
-            # range (it finishes this record via its lookahead).
+            # Everything up to the first record boundary belongs to the
+            # previous range (it finishes this record via its lookahead).
             skipping_first = False
             continue
         if range_len is not None and line_start > range_len:
             return
         yield line.rstrip(b"\r")
+
+
+def _find_record_end(
+    buffer: bytes, pos: int, in_quotes: bool
+) -> Tuple[int, int, bool]:
+    """Locate the next record-terminating newline at or after ``pos``.
+
+    Returns ``(newline_index, next_pos, in_quotes)``.  ``newline_index``
+    is ``-1`` when the buffer ends before a record boundary, in which
+    case ``next_pos``/``in_quotes`` capture the scan state to resume
+    from after more bytes arrive.  The scan jumps between ``find()``
+    calls instead of walking bytes: outside quotes the next interesting
+    byte is ``min(next '\\n', next '\"')``; inside quotes only the
+    closing quote matters.  RFC 4180's ``\"\"`` escape needs no special
+    case -- it toggles the parity twice.
+    """
+    while True:
+        if in_quotes:
+            quote = buffer.find(b'"', pos)
+            if quote < 0:
+                return -1, len(buffer), True
+            pos = quote + 1
+            in_quotes = False
+            continue
+        newline = buffer.find(b"\n", pos)
+        if newline < 0:
+            quote = buffer.find(b'"', pos)
+            if quote < 0:
+                return -1, len(buffer), False
+            pos = quote + 1
+            in_quotes = True
+            continue
+        quote = buffer.find(b'"', pos, newline)
+        if quote < 0:
+            return newline, newline, False
+        pos = quote + 1
+        in_quotes = True
 
 
 def _parse_record(raw_line: bytes, delimiter: str) -> Optional[List[str]]:
@@ -253,8 +317,18 @@ def _parse_record(raw_line: bytes, delimiter: str) -> Optional[List[str]]:
 
 
 def _render_record(fields: List[str], delimiter: str) -> bytes:
-    """Serialize fields, quoting only when necessary."""
-    if any(delimiter in field or '"' in field for field in fields):
+    """Serialize fields, quoting only when necessary.
+
+    A field containing a newline (or carriage return) must be re-quoted
+    too, else the emitted record is unframeable downstream.
+    """
+    if any(
+        delimiter in field
+        or '"' in field
+        or "\n" in field
+        or "\r" in field
+        for field in fields
+    ):
         sink = io.StringIO()
         csv.writer(sink, delimiter=delimiter, lineterminator="\n").writerow(
             fields

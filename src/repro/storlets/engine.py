@@ -21,6 +21,7 @@ from repro.storlets.api import (
     StorletFailure,
     StorletInputStream,
 )
+from repro.obs.trace import TRACE_HEADER
 from repro.storlets.sandbox import CostModel, Sandbox
 from repro.swift.http import Request, Response, chunk_bytes, parse_path
 from repro.swift.middleware import App
@@ -278,6 +279,7 @@ class StorletMiddleware:
                 parameters,
                 tier=self.tier,
                 scope=f"PUT|{request.path}",
+                trace_id=request.headers.get(TRACE_HEADER, ""),
             )
             invocations.append(invocation)
             chunks = invocation.chunks()
@@ -349,6 +351,7 @@ class StorletMiddleware:
                     parameters,
                     tier=self.tier,
                     scope=scope,
+                    trace_id=request.headers.get(TRACE_HEADER, ""),
                 )
                 chunks = invocation.chunks()
             # Prime the pipeline: pulling the first output chunk drives

@@ -20,6 +20,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
 
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_collector
 from repro.storlets.api import (
     IStorlet,
     StorletException,
@@ -161,6 +163,7 @@ class Sandbox:
         parameters: Dict[str, str],
         tier: str = "object",
         scope: str = "",
+        trace_id: str = "",
     ) -> "StreamingInvocation":
         """Start ``storlet`` as a stream transformer.
 
@@ -193,6 +196,7 @@ class Sandbox:
             except StorletException:
                 with self._lock:
                     self.stats.errors += 1
+                get_registry().inc("sandbox.errors", node=self.node)
                 raise
 
         logger = StorletLogger(storlet.name)
@@ -230,80 +234,128 @@ class Sandbox:
                 yield chunk
 
         def accounted():
+            # The span starts lazily here -- inside the generator -- so
+            # start and finish both happen on the *consumer's* thread and
+            # the collector's per-thread parenting stack stays sound even
+            # when the stream is drained far from where it was built.
+            tracer = get_collector()
+            span = tracer.start(
+                "storlet",
+                storlet.name,
+                trace_id=trace_id,
+                node=self.node,
+                run_on=tier,
+                scope=scope,
+            )
             started = time.perf_counter()
             try:
-                chunks = storlet.process(
-                    StorletInputStream(metered_input(), in_stream.metadata),
-                    parameters,
-                    logger,
-                    invocation.metadata,
-                )
-                for chunk in chunks:
-                    if not isinstance(chunk, bytes):
-                        raise StorletException(
-                            f"storlet output must be bytes, "
-                            f"got {type(chunk).__name__}"
-                        )
-                    if not chunk:
-                        continue
-                    invocation.bytes_written += len(chunk)
+                try:
+                    chunks = storlet.process(
+                        StorletInputStream(
+                            metered_input(), in_stream.metadata
+                        ),
+                        parameters,
+                        logger,
+                        invocation.metadata,
+                    )
+                    for chunk in chunks:
+                        if not isinstance(chunk, bytes):
+                            raise StorletException(
+                                f"storlet output must be bytes, "
+                                f"got {type(chunk).__name__}"
+                            )
+                        if not chunk:
+                            continue
+                        invocation.bytes_written += len(chunk)
+                        with self._lock:
+                            self.stats.bytes_out += len(chunk)
+                        if (
+                            self.max_output_bytes is not None
+                            and invocation.bytes_written
+                            > self.max_output_bytes
+                        ):
+                            raise StorletFailure(
+                                f"{storlet.name} exceeded the sandbox "
+                                f"output limit: "
+                                f"{invocation.bytes_written} > "
+                                f"{self.max_output_bytes} bytes",
+                                storlet=storlet.name,
+                                node=self.node,
+                                reason="output-limit",
+                            )
+                        charge(0, len(chunk))
+                        yield chunk
+                except StorletException:
                     with self._lock:
-                        self.stats.bytes_out += len(chunk)
-                    if (
-                        self.max_output_bytes is not None
-                        and invocation.bytes_written > self.max_output_bytes
-                    ):
-                        raise StorletFailure(
-                            f"{storlet.name} exceeded the sandbox output "
-                            f"limit: {invocation.bytes_written} > "
-                            f"{self.max_output_bytes} bytes",
-                            storlet=storlet.name,
-                            node=self.node,
-                            reason="output-limit",
-                        )
-                    charge(0, len(chunk))
-                    yield chunk
-            except StorletException:
-                with self._lock:
-                    self.stats.errors += 1
-                raise
-            except Exception as error:
-                with self._lock:
-                    self.stats.errors += 1
-                raise StorletFailure(
-                    f"{storlet.name} failed: {error}",
-                    storlet=storlet.name,
-                    node=self.node,
-                    reason="crash",
-                ) from error
-            wall = time.perf_counter() - started
-            if (
-                self.max_wall_seconds is not None
-                and wall > self.max_wall_seconds
-            ):
-                with self._lock:
-                    self.stats.errors += 1
-                raise StorletFailure(
-                    f"{storlet.name} missed the invocation deadline: "
-                    f"{wall:.4f} > {self.max_wall_seconds} seconds",
-                    storlet=storlet.name,
-                    node=self.node,
-                    reason="deadline",
-                )
-            with self._lock:
-                self.stats.invocations += 1
-                self.records.append(
-                    InvocationRecord(
+                        self.stats.errors += 1
+                    get_registry().inc("sandbox.errors", node=self.node)
+                    raise
+                except Exception as error:
+                    with self._lock:
+                        self.stats.errors += 1
+                    get_registry().inc("sandbox.errors", node=self.node)
+                    raise StorletFailure(
+                        f"{storlet.name} failed: {error}",
                         storlet=storlet.name,
                         node=self.node,
-                        tier=tier,
-                        bytes_in=invocation.bytes_read,
-                        bytes_out=invocation.bytes_written,
-                        cpu_seconds=invocation.cpu_seconds,
-                        wall_seconds=wall,
-                        parameters=dict(parameters),
+                        reason="crash",
+                    ) from error
+                wall = time.perf_counter() - started
+                if (
+                    self.max_wall_seconds is not None
+                    and wall > self.max_wall_seconds
+                ):
+                    with self._lock:
+                        self.stats.errors += 1
+                    get_registry().inc("sandbox.errors", node=self.node)
+                    raise StorletFailure(
+                        f"{storlet.name} missed the invocation deadline: "
+                        f"{wall:.4f} > {self.max_wall_seconds} seconds",
+                        storlet=storlet.name,
+                        node=self.node,
+                        reason="deadline",
                     )
+                with self._lock:
+                    self.stats.invocations += 1
+                    self.records.append(
+                        InvocationRecord(
+                            storlet=storlet.name,
+                            node=self.node,
+                            tier=tier,
+                            bytes_in=invocation.bytes_read,
+                            bytes_out=invocation.bytes_written,
+                            cpu_seconds=invocation.cpu_seconds,
+                            wall_seconds=wall,
+                            parameters=dict(parameters),
+                        )
+                    )
+                registry = get_registry()
+                registry.inc("sandbox.invocations", node=self.node)
+                registry.inc(
+                    "sandbox.bytes_in", invocation.bytes_read, node=self.node
                 )
+                registry.inc(
+                    "sandbox.bytes_out",
+                    invocation.bytes_written,
+                    node=self.node,
+                )
+                registry.inc(
+                    "sandbox.cpu_seconds",
+                    invocation.cpu_seconds,
+                    node=self.node,
+                )
+            except GeneratorExit:
+                # The consumer abandoned the stream (e.g. a satisfied
+                # LIMIT) -- not a failure.
+                span.status = "abandoned"
+                raise
+            except BaseException:
+                span.status = "error"
+                raise
+            finally:
+                span.bytes_in = invocation.bytes_read
+                span.bytes_out = invocation.bytes_written
+                tracer.finish(span, cpu_seconds=invocation.cpu_seconds)
 
         invocation.attach(accounted())
         return invocation

@@ -134,11 +134,23 @@ class ObjectServer:
         headers = self._object_headers(stored)
         range_header = request.headers.get("range")
         if range_header:
-            start, end = parse_range(range_header, stored.size)
+            resolved = parse_range(range_header, stored.size)
+            if resolved is None:
+                # Syntactically invalid byte-range-spec (end < start):
+                # RFC 7233 says ignore the header -> full body, 200.
+                headers["content-length"] = str(stored.size)
+                return Response(200, headers, chunk_bytes(stored.data))
+            start, end = resolved
             if start >= stored.size or start > end:
-                raise RangeNotSatisfiable(
+                error = RangeNotSatisfiable(
                     f"range {range_header!r} outside object of {stored.size} B"
                 )
+                # RFC 7233 section 4.4: a 416 carries the current
+                # object length so clients can re-issue a valid range.
+                error.headers = HeaderDict(
+                    {"content-range": f"bytes */{stored.size}"}
+                )
+                raise error
             headers["content-range"] = f"bytes {start}-{end}/{stored.size}"
             headers["content-length"] = str(end - start + 1)
             # Stream the range as lazy chunk-size slices; the sub-range

@@ -5,10 +5,36 @@ from __future__ import annotations
 import threading
 from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
-from repro.swift.exceptions import SwiftError
+from repro.obs.metrics import get_registry
+from repro.obs.trace import TRACE_HEADER, get_collector
+from repro.swift.exceptions import (
+    AuthError,
+    BadRequest,
+    Conflict,
+    Forbidden,
+    NotFound,
+    RangeNotSatisfiable,
+    RequestTimeout,
+    ServiceUnavailable,
+    SwiftError,
+)
 from repro.swift.http import HeaderDict, Request, Response, collect_body
 from repro.swift.proxy import SwiftCluster
 from repro.swift.retry import ClientStats, RetryPolicy
+
+#: Non-2xx statuses mapped to typed exceptions so callers can catch the
+#: condition (``except RangeNotSatisfiable``) instead of matching on
+#: ``error.status``.
+_STATUS_EXCEPTIONS = {
+    400: BadRequest,
+    401: AuthError,
+    403: Forbidden,
+    404: NotFound,
+    409: Conflict,
+    416: RangeNotSatisfiable,
+    503: ServiceUnavailable,
+    504: RequestTimeout,
+}
 
 
 class SwiftClient:
@@ -77,26 +103,49 @@ class SwiftClient:
         if body is not None and not isinstance(body, bytes):
             body = collect_body(body)
 
+        tracer = get_collector()
+        registry = get_registry()
+        span = tracer.start(
+            "client",
+            f"{method} {path}",
+            trace_id=merged.get(TRACE_HEADER, ""),
+        )
+        attempts = 0
         response: Optional[Response] = None
-        for attempt in range(policy.max_attempts):
-            request = Request(method, path, merged.copy(), body, params)
-            response = self._dispatch(request)
-            with self._stats_lock:
-                self.stats.requests += 1
-            if not policy.retryable(response.status):
-                return response
-            if attempt + 1 >= policy.max_attempts:
+        try:
+            for attempt in range(policy.max_attempts):
+                request = Request(method, path, merged.copy(), body, params)
+                response = self._dispatch(request)
+                attempts = attempt + 1
                 with self._stats_lock:
-                    self.stats.exhausted += 1
-                return response
-            delay = policy.delay(attempt)
-            with self._stats_lock:
-                self.stats.retries += 1
-                self.stats.backoff_seconds += delay
-            if self._sleeper is not None:
-                self._sleeper(delay)
-        assert response is not None  # max_attempts >= 1
-        return response
+                    self.stats.requests += 1
+                registry.inc("client.requests", method=method)
+                if not policy.retryable(response.status):
+                    return response
+                if attempt + 1 >= policy.max_attempts:
+                    with self._stats_lock:
+                        self.stats.exhausted += 1
+                    registry.inc("client.exhausted")
+                    return response
+                delay = policy.delay(attempt)
+                with self._stats_lock:
+                    self.stats.retries += 1
+                    self.stats.backoff_seconds += delay
+                    self.stats.delays.append(delay)
+                registry.inc("client.retries")
+                registry.inc("client.backoff_seconds", delay)
+                if self._sleeper is not None:
+                    self._sleeper(delay)
+            assert response is not None  # max_attempts >= 1
+            return response
+        finally:
+            status = response.status if response is not None else 0
+            tracer.finish(
+                span,
+                status="ok" if 0 < status < 400 else "error",
+                attempts=attempts,
+                http_status=status,
+            )
 
     def _dispatch(self, request: Request) -> Response:
         """Send one attempt through the bounded connection pool."""
@@ -105,6 +154,7 @@ class SwiftClient:
         if not self._pool.acquire(blocking=False):
             with self._stats_lock:
                 self.stats.pool_waits += 1
+            get_registry().inc("client.pool_waits")
             self._pool.acquire()
         try:
             return self.cluster.handle_request(request)
@@ -113,7 +163,8 @@ class SwiftClient:
 
     def _checked(self, response: Response, allowed=(200, 201, 202, 204, 206)):
         if response.status not in allowed:
-            error = SwiftError(
+            error_cls = _STATUS_EXCEPTIONS.get(response.status, SwiftError)
+            error = error_cls(
                 f"{response.status} {response.reason}: "
                 f"{response.read()[:200]!r}"
             )

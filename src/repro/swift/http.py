@@ -92,12 +92,28 @@ def parse_path(path: str) -> Tuple[str, Optional[str], Optional[str]]:
 _RANGE_RE = re.compile(r"^bytes=(\d*)-(\d*)$")
 
 
-def parse_range(header: str, size: int) -> Tuple[int, int]:
+def parse_range(header: str, size: int) -> Optional[Tuple[int, int]]:
     """Resolve a ``bytes=start-end`` header to inclusive offsets.
 
     Supports ``bytes=a-b``, ``bytes=a-`` and suffix ranges ``bytes=-n``.
-    Raises :class:`BadRequest` for malformed headers; callers map
-    out-of-bounds ranges to 416.
+    Semantics pinned to RFC 7233 (tests/test_swift_http.py):
+
+    * Malformed headers raise :class:`BadRequest`.
+    * ``end < start`` (both present) is a *syntactically invalid*
+      byte-range-spec: per RFC 7233 §2.1 the recipient MUST ignore it,
+      so ``None`` is returned and the caller serves the full object
+      with a 200.
+    * A suffix range longer than the object resolves to the whole
+      object (RFC 7233 §2.1).
+    * ``bytes=-0`` is deliberately unsatisfiable (no bytes can match a
+      zero-length suffix): the returned offsets place ``start`` past
+      the object so the backend answers 416.
+    * Against a zero-byte object every range is unsatisfiable (there is
+      no byte to serve): 416 falls out of the same ``start >= size``
+      check.
+
+    Callers map unsatisfiable (but well-formed) ranges to 416 carrying
+    ``content-range: bytes */<size>``.
     """
     match = _RANGE_RE.match(header.strip())
     if not match:
@@ -112,6 +128,10 @@ def parse_range(header: str, size: int) -> Tuple[int, int]:
             return size, size - 1  # deliberately unsatisfiable
         return max(0, size - length), size - 1
     start = int(start_text)
+    if end_text and int(end_text) < start:
+        # Syntactically invalid byte-range-spec: ignore the header
+        # entirely (RFC 7233) -- NOT a 416.
+        return None
     end = int(end_text) if end_text else size - 1
     end = min(end, size - 1)
     return start, end

@@ -52,7 +52,14 @@ class CatchErrors(BaseMiddleware):
         try:
             return self.app(request)
         except SwiftError as error:
-            return Response(error.status, body=str(error).encode("utf-8"))
+            # Errors may carry response headers (e.g. the RFC 7233
+            # ``content-range: bytes */<size>`` on a 416, or storlet
+            # failure markers); they must survive the translation.
+            return Response(
+                error.status,
+                headers=error.headers,
+                body=str(error).encode("utf-8"),
+            )
         except Exception as error:  # noqa: BLE001 - boundary translation
             return Response(500, body=str(error).encode("utf-8"))
 

@@ -13,8 +13,11 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
 from typing import Callable, Dict, List, Optional, Sequence, Set
 
+from repro.obs.metrics import get_registry
+from repro.obs.trace import TRACE_HEADER, get_collector
 from repro.swift.backend import (
     AccountStore,
     ContainerStore,
@@ -380,44 +383,92 @@ class SwiftCluster:
         bodies stream lazily *after* release, so an abandoned stream
         (e.g. a satisfied LIMIT) can never leak a slot.
         """
+        registry = get_registry()
+        tracer = get_collector()
         with self._counter_lock:
             self.counters["requests"] += 1
             index = next(self._proxy_cycle)
+        registry.inc("cluster.requests")
+        span = tracer.start(
+            "proxy",
+            f"{request.method} {request.path}",
+            trace_id=request.headers.get(TRACE_HEADER, ""),
+            proxy=f"proxy{index}",
+        )
         slot = self._admission[index]
         if slot is not None and not slot.acquire(blocking=False):
             with self._counter_lock:
                 self.counters["proxy_queue_waits"] += 1
+            registry.inc("cluster.proxy_queue_waits")
+            wait_start = time.perf_counter()
             slot.acquire()
+            span.attributes["admission_wait"] = (
+                time.perf_counter() - wait_start
+            )
+        status = "error"
+        http_status = 0
         try:
             with self._counter_lock:
                 self._inflight[index] += 1
                 if self._inflight[index] > self.counters["proxy_peak_inflight"]:
                     self.counters["proxy_peak_inflight"] = self._inflight[index]
-            return self.proxies[index].handle(request)
+                    registry.set_gauge(
+                        "cluster.proxy_peak_inflight", self._inflight[index]
+                    )
+            response = self.proxies[index].handle(request)
+            http_status = response.status
+            status = "ok" if response.status < 400 else "error"
+            return response
         finally:
             with self._counter_lock:
                 self._inflight[index] -= 1
             if slot is not None:
                 slot.release()
+            tracer.finish(span, status=status, http_status=http_status)
 
     def bump_counter(self, name: str, amount: int = 1) -> None:
         """Atomically increment a resilience counter."""
         with self._counter_lock:
             self.counters[name] = self.counters.get(name, 0) + amount
+        get_registry().inc(f"cluster.{name}", amount)
 
     def send_to_device(self, device: Device, request: Request) -> Response:
         """Route a replica request into the owning node's object pipeline."""
-        if device.id in self.failed_devices:
-            raise ServiceUnavailable(
-                f"device {device.id} on {device.node} has failed"
+        tracer = get_collector()
+        span = tracer.start(
+            "object",
+            f"{request.method} {request.path}",
+            trace_id=request.headers.get(TRACE_HEADER, ""),
+            node=device.node,
+            device=device.id,
+        )
+        try:
+            if device.id in self.failed_devices:
+                raise ServiceUnavailable(
+                    f"device {device.id} on {device.node} has failed"
+                )
+            pipeline = self._object_pipelines.get(device.node)
+            if pipeline is None:
+                raise ServiceUnavailable(
+                    f"no object server for node {device.node!r}"
+                )
+            request.environ["swift.device"] = device.id
+            request.environ["swift.node"] = device.node
+            request.environ["swift.execution_tier"] = "object"
+            response = pipeline(request)
+        except BaseException as error:
+            tracer.finish(
+                span,
+                status="error",
+                error=type(error).__name__,
             )
-        pipeline = self._object_pipelines.get(device.node)
-        if pipeline is None:
-            raise ServiceUnavailable(f"no object server for node {device.node!r}")
-        request.environ["swift.device"] = device.id
-        request.environ["swift.node"] = device.node
-        request.environ["swift.execution_tier"] = "object"
-        return pipeline(request)
+            raise
+        tracer.finish(
+            span,
+            status="ok" if response.status < 400 else "error",
+            http_status=response.status,
+        )
+        return response
 
     # -- administration ----------------------------------------------------------
 

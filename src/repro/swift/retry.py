@@ -98,6 +98,10 @@ class ClientStats:
     #: wait for a slot (timing-dependent; excluded from determinism
     #: assertions).
     pool_waits: int = 0
+    #: Every backoff delay actually consumed, in order -- the retry
+    #: schedule as taken, for ``explain_profile()``.  Deliberately not
+    #: part of ``resilience_summary`` (fingerprints stay unchanged).
+    delays: List[float] = field(default_factory=list)
 
     def reset(self) -> None:
         self.requests = 0
@@ -105,3 +109,4 @@ class ClientStats:
         self.backoff_seconds = 0.0
         self.exhausted = 0
         self.pool_waits = 0
+        self.delays.clear()

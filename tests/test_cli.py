@@ -117,3 +117,42 @@ class TestDemo:
         out = capsys.readouterr().out
         assert "data selectivity" in out
         assert "pushdown moved" in out
+
+
+class TestTrace:
+    def test_trace_json_round_trips(self, capsys):
+        import json
+
+        assert (
+            main(["trace", "--meters", "5", "--intervals", "20"]) == 0
+        )
+        out = capsys.readouterr().out
+        exported = json.loads(out)
+        assert exported["span_count"] == len(exported["spans"])
+        assert exported["byte_totals"]["connector"]["spans"] > 0
+
+    def test_trace_chrome_format_to_file(self, tmp_path):
+        import json
+
+        target = tmp_path / "trace.json"
+        assert (
+            main(
+                [
+                    "trace",
+                    "--meters",
+                    "5",
+                    "--intervals",
+                    "20",
+                    "--format",
+                    "chrome",
+                    "--out",
+                    str(target),
+                ]
+            )
+            == 0
+        )
+        exported = json.loads(target.read_text())
+        assert exported["traceEvents"]
+        assert all(
+            event["ph"] in ("X", "M") for event in exported["traceEvents"]
+        )

@@ -182,3 +182,65 @@ class TestMissingEngineFailure:
         split = connector.discover_partitions("c")[0]
         with pytest.raises(SwiftError):
             connector.read_split_raw(split, task)
+
+
+class TestSkippedObjects:
+    """Partition discovery must surface objects it cannot split --
+    counted, logged, and mirrored into the metrics registry -- instead
+    of silently dropping them."""
+
+    def test_zero_length_object_counted_and_logged(self, rig, caplog):
+        import logging
+
+        from repro.obs.metrics import MetricsRegistry
+
+        connector, client = rig
+        connector.metrics.registry = MetricsRegistry()
+        client.put_object("c", "empty", b"")
+        client.put_object("c", "data", b"x" * 10)
+        with caplog.at_level(logging.WARNING, logger="repro.connector"):
+            splits = connector.discover_partitions("c")
+        assert [s.name for s in splits] == ["data"]
+        assert connector.skipped_objects == [("c", "empty", "zero-length")]
+        assert (
+            connector.metrics.registry.counter_value(
+                "connector.objects_skipped", reason="zero-length"
+            )
+            == 1
+        )
+        assert "empty" in caplog.text and "zero-length" in caplog.text
+
+    def test_missing_content_length_counted(self, rig, monkeypatch):
+        from repro.obs.metrics import MetricsRegistry
+
+        connector, client = rig
+        connector.metrics.registry = MetricsRegistry()
+        client.put_object("c", "weird", b"x" * 5)
+        client.put_object("c", "data", b"x" * 10)
+        real_head = client.head_object
+
+        def headless(container, name):
+            headers = real_head(container, name)
+            if name == "weird":
+                del headers["content-length"]
+            return headers
+
+        monkeypatch.setattr(client, "head_object", headless)
+        splits = connector.discover_partitions("c")
+        assert [s.name for s in splits] == ["data"]
+        assert connector.skipped_objects == [
+            ("c", "weird", "missing-content-length")
+        ]
+        assert (
+            connector.metrics.registry.counter_value(
+                "connector.objects_skipped", reason="missing-content-length"
+            )
+            == 1
+        )
+
+    def test_skips_accumulate_across_discoveries(self, rig):
+        connector, client = rig
+        client.put_object("c", "empty", b"")
+        connector.discover_partitions("c")
+        connector.discover_partitions("c")
+        assert len(connector.skipped_objects) == 2

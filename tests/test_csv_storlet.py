@@ -197,6 +197,143 @@ class TestRangeSemantics:
         assert result == b""
 
 
+QUOTED = (
+    b'm1,2015-01-01,10.5,"Rotter\ndam"\n'
+    b"m2,2015-01-02,3.25,Paris\n"
+    b'm3,2015-02-01,99.0,"Ber\nlin,City"\n'
+    b"m4,2015-02-02,1.0,Nice\n"
+)
+
+
+class TestQuotedNewlines:
+    """RFC 4180 framing: a newline inside a quoted field must not
+    terminate the record (the original framing split on raw b"\\n" and
+    sheared quoted records in half)."""
+
+    def test_embedded_newline_is_one_record(self):
+        # Passthrough must reproduce the input byte-for-byte: 4 records,
+        # not 6 "lines".
+        assert invoke(QUOTED, {}) == QUOTED
+
+    def test_rows_in_counts_records_not_newlines(self):
+        out = StorletOutputStream()
+        CsvStorlet().invoke(
+            [StorletInputStream([QUOTED])],
+            [out],
+            {"schema": SCHEMA.to_header()},
+            StorletLogger("test"),
+        )
+        assert out.metadata["x-object-meta-storlet-rows-in"] == "4"
+        assert out.metadata["x-object-meta-storlet-rows-out"] == "4"
+
+    def test_filter_matches_multiline_field(self):
+        filters = filters_to_json([EqualTo("city", "Rotter\ndam")])
+        result = invoke(QUOTED, {"filters": filters})
+        assert result == b'm1,2015-01-01,10.5,"Rotter\ndam"\n'
+
+    def test_projection_requotes_multiline_field(self):
+        result = invoke(QUOTED, {"columns": json.dumps(["vid", "city"])})
+        # The projected multiline field is re-quoted, so re-framing the
+        # output yields the same 4 records.
+        reparsed = list(
+            _owned_lines(StorletInputStream([result]), 0, None)
+        )
+        assert len(reparsed) == 4
+        assert reparsed[0] == b'm1,"Rotter\ndam"'
+        assert reparsed[2] == b'm3,"Ber\nlin,City"'
+
+    @pytest.mark.parametrize("chunk_size", [1, 2, 3, 5, 8, 13])
+    def test_quote_state_carries_across_chunk_refills(self, chunk_size):
+        # Tiny chunks force buffer refills inside quoted fields; the
+        # scanner's (scan_pos, in_quotes) state must survive them.
+        assert invoke(QUOTED, {}, chunk_size=chunk_size) == QUOTED
+
+    def test_escaped_quotes_toggle_parity_twice(self):
+        data = b'm1,2015-01-01,1.0,"say ""hi""\nok"\n'
+        assert invoke(data, {}) == data
+        filters = filters_to_json([EqualTo("city", 'say "hi"\nok')])
+        assert invoke(data, {"filters": filters}) == data
+
+    def test_range_end_inside_multiline_record_completes_it(self):
+        # The third record starts before the range end, so it is owned
+        # and must be completed from lookahead -- including the part of
+        # its quoted field past the range boundary.
+        start_of_m3 = QUOTED.index(b"m3")
+        result = invoke(
+            QUOTED,
+            {"range_start": "0", "range_len": str(start_of_m3 + 4)},
+        )
+        assert result == QUOTED[: QUOTED.index(b"m4")]
+
+
+class TestQuotedNewlinePushdownIdentity:
+    """Acceptance: pushdown and compute-side scans return identical rows
+    on data with quoted embedded newlines."""
+
+    QSCHEMA = Schema.of("vid", "date", "index:float", "city")
+
+    @pytest.fixture
+    def quoted_scoop(self):
+        from repro.core import ScoopContext
+
+        context = ScoopContext(
+            storage_node_count=2,
+            disks_per_node=1,
+            proxy_count=1,
+            replica_count=1,
+            num_workers=2,
+            # Each object is smaller than one split, so every split is
+            # object-aligned and no *range* boundary can bisect a quoted
+            # field (the documented unrecoverable case); chunk-boundary
+            # refills inside quoted fields are covered by the unit tests.
+            chunk_size=512,
+        )
+        for part in range(4):
+            rows = []
+            for offset in range(10):
+                i = part * 10 + offset
+                if i % 3 == 0:
+                    city = f'"city\n{i},north"'
+                elif i % 3 == 1:
+                    city = f'"say ""hi""\n{i}"'
+                else:
+                    city = "Paris"
+                rows.append(
+                    f"m{i:03d},2015-01-{(i % 28) + 1:02d},{i}.5,{city}\n"
+                )
+            context.upload_csv(
+                "quoted", f"part-{part}.csv", "".join(rows)
+            )
+        context.register_csv_table(
+            "qpush", "quoted", schema=self.QSCHEMA, pushdown=True
+        )
+        context.register_csv_table(
+            "qplain", "quoted", schema=self.QSCHEMA, pushdown=False
+        )
+        return context
+
+    def test_rows_identical_with_filter_and_projection(self, quoted_scoop):
+        frame_push, report_push = quoted_scoop.run_query(
+            "SELECT vid, city FROM qpush WHERE index > 10"
+        )
+        frame_plain, _report = quoted_scoop.run_query(
+            "SELECT vid, city FROM qplain WHERE index > 10"
+        )
+        push_rows = frame_push.collect()
+        plain_rows = frame_plain.collect()
+        assert push_rows == plain_rows
+        assert len(push_rows) == 30  # index 10.5..39.5 -> rows 10..39
+        # The data actually exercised the quote-aware path.
+        assert any("\n" in city for _vid, city in push_rows)
+        assert report_push.pushdown_requests > 0
+
+    def test_full_scan_identical(self, quoted_scoop):
+        push = quoted_scoop.sql("SELECT * FROM qpush").collect()
+        plain = quoted_scoop.sql("SELECT * FROM qplain").collect()
+        assert push == plain
+        assert len(push) == 40
+
+
 class TestCoverageProperty:
     """The invariant the whole pushdown correctness rests on: splitting
     an object into arbitrary contiguous ranges and concatenating the

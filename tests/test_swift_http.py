@@ -90,6 +90,31 @@ class TestParseRange:
     def test_suffix_larger_than_object(self):
         assert parse_range("bytes=-500", 100) == (0, 99)
 
+    def test_suffix_zero_is_unsatisfiable(self):
+        # RFC 7233: a zero-length suffix matches no bytes; the resolved
+        # offsets place start past the object so the backend answers 416.
+        start, end = parse_range("bytes=-0", 100)
+        assert start >= 100
+        assert start > end
+
+    def test_end_before_start_is_ignored(self):
+        # RFC 7233 2.1: last-byte-pos < first-byte-pos makes the
+        # byte-range-spec syntactically invalid -> the header is ignored
+        # (None), NOT a 416.
+        assert parse_range("bytes=10-5", 100) is None
+
+    def test_any_range_on_zero_byte_object_is_unsatisfiable(self):
+        # There is no byte to serve, so every well-formed range must
+        # resolve to offsets the backend maps to 416 (start >= size or
+        # start > end), never to a zero-length "valid" slice.
+        size = 0
+        for header in ("bytes=0-0", "bytes=0-", "bytes=-1", "bytes=-0"):
+            resolved = parse_range(header, size)
+            assert resolved is not None, header
+            start, end = resolved
+            unsatisfiable = start >= size or start > end
+            assert unsatisfiable, header
+
     def test_malformed_raises(self):
         for bad in ("bytes=", "0-9", "bytes=a-b", "bytes=5"):
             with pytest.raises(BadRequest):
@@ -102,7 +127,12 @@ class TestParseRange:
         size=st.integers(min_value=1, max_value=1500),
     )
     def test_valid_ranges_stay_within_object(self, start, end, size):
-        result_start, result_end = parse_range(f"bytes={start}-{end}", size)
+        resolved = parse_range(f"bytes={start}-{end}", size)
+        if end < start:
+            # Syntactically invalid spec: header ignored per RFC 7233.
+            assert resolved is None
+            return
+        result_start, result_end = resolved
         assert result_start == start
         assert result_end <= size - 1
 

@@ -92,9 +92,37 @@ class TestRangeReads:
     def test_range_beyond_object_416(self, client):
         client.put_container("c")
         client.put_object("c", "o", b"0123456789")
-        with pytest.raises(SwiftError) as excinfo:
+        with pytest.raises(RangeNotSatisfiable) as excinfo:
             client.get_object("c", "o", byte_range=(50, 60))
         assert excinfo.value.status == 416
+        # RFC 7233 section 4.4: the 416 names the current object length
+        # so the client can construct a valid range.
+        assert excinfo.value.headers["content-range"] == "bytes */10"
+
+    def test_range_end_before_start_serves_full_object(self, client):
+        # RFC 7233 2.1: end < start is a syntactically invalid
+        # byte-range-spec; the header is ignored, not answered with 416.
+        client.put_container("c")
+        client.put_object("c", "o", b"0123456789")
+        headers, body = client.get_object("c", "o", byte_range=(6, 3))
+        assert body == b"0123456789"
+        assert "content-range" not in headers
+
+    def test_any_range_on_zero_byte_object_416(self, client):
+        client.put_container("c")
+        client.put_object("c", "o", b"")
+        with pytest.raises(RangeNotSatisfiable) as excinfo:
+            client.get_object("c", "o", byte_range=(0, 0))
+        assert excinfo.value.status == 416
+        assert excinfo.value.headers["content-range"] == "bytes */0"
+
+    def test_suffix_zero_range_416(self, client):
+        client.put_container("c")
+        client.put_object("c", "o", b"0123456789")
+        with pytest.raises(RangeNotSatisfiable) as excinfo:
+            client.get_object("c", "o", headers={"range": "bytes=-0"})
+        assert excinfo.value.status == 416
+        assert excinfo.value.headers["content-range"] == "bytes */10"
 
 
 class TestReplication:
