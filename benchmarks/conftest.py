@@ -1,9 +1,11 @@
 """Shared fixtures for the benchmark suite.
 
 Each ``test_fig*`` / ``test_table*`` module regenerates one table or
-figure of the paper's evaluation: it runs the experiment through
-pytest-benchmark (so regeneration cost is tracked) and prints the same
-rows/series the paper reports.
+figure of the paper's evaluation by running the named experiment
+through the ``repro.bench`` orchestrator (the same code path as
+``python -m repro bench``): pytest-benchmark tracks the regeneration
+cost, the familiar ASCII tables are printed from the captured result
+document, and every recorded check must pass.
 """
 
 from __future__ import annotations
@@ -30,3 +32,21 @@ def run_once(benchmark, function, *args, **kwargs):
     return benchmark.pedantic(
         function, args=args, kwargs=kwargs, rounds=1, iterations=1
     )
+
+
+def run_bench(benchmark, name: str, quick: bool = False):
+    """Run one named experiment through the orchestrator, print its
+    tables, and assert every recorded check passed; returns the
+    result document."""
+    from repro.bench import run_experiment
+    from repro.bench.reportgen import render_document_tables
+
+    document = run_once(benchmark, run_experiment, name, quick=quick)
+    render_document_tables(document)
+    failed = [
+        f"{check['name']}: {check['detail']}"
+        for check in document["checks"]
+        if not check["passed"]
+    ]
+    assert not failed, f"{name} checks failed: {failed}"
+    return document

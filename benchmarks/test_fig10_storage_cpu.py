@@ -6,50 +6,23 @@ but do real work under pushdown (average 23.5% over their collection
 window); the overhead buys the compute-side savings of Fig. 9.
 """
 
-from benchmarks.conftest import run_once
-from repro.experiments import fig10_storage_cpu, render_table
+from benchmarks.conftest import run_bench
+from repro.experiments import fig10_storage_cpu
 from repro.experiments.report import render_series
 
 
 def test_fig10_storage_node_cpu(benchmark):
-    plain_series, pushdown_series = run_once(
-        benchmark, fig10_storage_cpu, "large", 0.99
-    )
-    # Average the pushdown series over the plain run's longer window too,
-    # since the paper's collectd window spans the whole experiment.
-    window = max(plain_series.times) if plain_series.times else 1.0
-    pushdown_busy = pushdown_series.mean()
-    pushdown_windowed = (
-        pushdown_series.integral() / window if window else 0.0
-    )
-    render_table(
-        "Fig. 10 -- storage-node CPU utilization",
-        ["series", "mean", "peak"],
-        [
-            [
-                "plain Swift",
-                f"{plain_series.mean() * 100:.2f}%",
-                f"{plain_series.peak() * 100:.2f}%",
-            ],
-            [
-                "Scoop (while running)",
-                f"{pushdown_busy * 100:.1f}%",
-                f"{pushdown_series.peak() * 100:.1f}%",
-            ],
-            [
-                "Scoop (over plain-run window)",
-                f"{pushdown_windowed * 100:.1f}%",
-                "--",
-            ],
-        ],
-    )
+    document = run_bench(benchmark, "fig10")
+    storage = document["results"]["storage_cpu"]
+    # Plain Swift leaves storage CPUs nearly idle (paper: 1.25%);
+    # pushdown does real work there.
+    assert storage["plain_mean"] < 0.05
+    assert storage["pushdown_busy_mean"] > 0.2
+    assert storage["pushdown_windowed_mean"] > storage["plain_mean"] * 3
+
+    # The familiar ASCII chart (re-derived; the model is deterministic).
+    plain_series, pushdown_series = fig10_storage_cpu("large", 0.99)
     render_series(
         "Fig. 10 -- storage-node CPU utilization over time",
         [("plain Swift", plain_series), ("Scoop", pushdown_series)],
     )
-    # Plain Swift leaves storage CPUs nearly idle (paper: 1.25%).
-    assert plain_series.mean() < 0.05
-    # Pushdown does real work there; the while-running mean is high, and
-    # even amortized over the whole plain-run window it far exceeds idle.
-    assert pushdown_busy > 0.2
-    assert pushdown_windowed > plain_series.mean() * 3

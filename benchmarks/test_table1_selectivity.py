@@ -5,26 +5,15 @@ Selectivities are measured by running each query's actual pushdown spec
 sample, exactly what the storlet would evaluate at the store.
 """
 
-from benchmarks.conftest import run_once
-from repro.experiments import render_table, table1_selectivities
+from benchmarks.conftest import run_bench
 
 
 def test_table1_query_selectivities(benchmark):
-    rows = run_once(benchmark, table1_selectivities)
-    render_table(
-        "Table I -- GridPocket query selectivities (measured vs paper)",
-        [
-            "query",
-            "column sel.",
-            "row sel.",
-            "data sel.",
-            "paper data sel.",
-        ],
-        [row.as_row() for row in rows],
-    )
-    assert len(rows) == 7
-    for row in rows:
+    document = run_bench(benchmark, "table1")
+    queries = document["results"]["queries"]
+    assert len(queries) == 7
+    for query in queries:
         # The paper's defining property: these queries are extremely
         # data-selective (>99% of bytes never need to leave the store).
-        assert row.measured.row_selectivity > 0.99, row.name
-        assert row.measured.data_selectivity > 0.99, row.name
+        assert query["row_selectivity"] > 0.99, query["name"]
+        assert query["data_selectivity"] > 0.99, query["name"]

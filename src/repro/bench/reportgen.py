@@ -1,0 +1,306 @@
+"""Render measured BENCH JSON back into EXPERIMENTS.md, and gate drift.
+
+The evaluation document is a *build output*: :func:`generate_markdown`
+renders only deterministic content (the performance model is
+clock-free, selectivities are measured on seeded data), so regenerating
+from the same committed ``BENCH_*.json`` yields the same bytes.
+Wall-clock timings and latency percentiles stay in the JSON documents
+-- they vary per machine and would make ``--check`` flap.
+
+Three public entry points:
+
+* :func:`generate_markdown` / :func:`write_report` -- results dir ->
+  EXPERIMENTS.md;
+* :func:`check_document` -- diff the committed document against a
+  regeneration (the CI drift gate);
+* :func:`compare_to_baseline` -- flag headline metrics that moved
+  against a prior results directory.
+"""
+
+from __future__ import annotations
+
+import difflib
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.bench.experiments import EXPERIMENTS, experiment_names
+from repro.bench.schema import SchemaError, validate_result
+
+#: Values the paper itself reports, rendered as paper-vs-measured rows
+#: with a delta and a verdict (|delta| within the stated band -> pass).
+#: Bands encode the reproduction contract: shape and rough factor, not
+#: the authors' absolute seconds (DESIGN.md section 2).
+PAPER_HEADLINES: Dict[str, Dict[str, Any]] = {
+    "table1": {
+        "min_data_selectivity": {"paper": 0.9957, "band": 0.01},
+    },
+    "fig5": {
+        "sq_3tb_mixed_80": {"paper": 5.0, "band": 0.30},
+    },
+    "fig6": {
+        "sq_best_3tb": {"paper": 31.0, "band": 0.35},
+    },
+    "fig7": {
+        "batch_plain_seconds": {"paper": 4814.7, "band": 0.35},
+        "batch_pushdown_seconds": {"paper": 155.48, "band": 0.35},
+    },
+    "fig8": {
+        "scoop_vs_parquet_at_90": {"paper": 2.16, "band": 0.35},
+    },
+    "fig9": {
+        "cpu_cycles_saved": {"paper": 0.978, "band": 0.10},
+    },
+    "fig10": {
+        "plain_cpu_mean": {"paper": 0.0125, "band": 1.0},
+        "pushdown_cpu_busy_mean": {"paper": 0.235, "band": 1.0},
+    },
+}
+
+_EPILOGUE = """\
+## Beyond the paper's evaluation (implemented extensions)
+
+* **Aggregation pushdown** (Section IV-A's "partial computation"):
+  mergeable GROUP BY queries return per-range partial states; on the
+  functional rig this moves ~28x fewer bytes than filter pushdown for
+  the same query (`tests/test_agg_pushdown.py`).
+* **Spark-Storlets RDD** (Section VII, ref [13]): Hadoop bypassed,
+  object-aware partitioning by replicas x parallelism, replica-pinned
+  parallel reads (`tests/test_storlet_rdd.py`).
+* **Binary object metadata source** (Section VII's EXIF example): SQL
+  over image-like objects' tag headers at <1% of the payload bytes
+  (`tests/test_binary_source.py`).
+"""
+
+
+def load_results(results_dir: Union[str, Path]) -> Dict[str, Dict[str, Any]]:
+    """Load and validate every ``BENCH_*.json`` under ``results_dir``.
+
+    Returns documents keyed by experiment name in canonical registry
+    order; raises :class:`FileNotFoundError` if the directory holds no
+    result documents and :class:`~repro.bench.schema.SchemaError` if
+    any document fails validation or misnames its experiment.
+    """
+    directory = Path(results_dir)
+    paths = sorted(directory.glob("BENCH_*.json"))
+    if not paths:
+        raise FileNotFoundError(f"no BENCH_*.json under {directory}")
+    loaded: Dict[str, Dict[str, Any]] = {}
+    for path in paths:
+        document = json.loads(path.read_text())
+        validate_result(document)
+        expected = path.stem[len("BENCH_"):]
+        if document["experiment"] != expected:
+            raise SchemaError(
+                f"{path.name}: experiment {document['experiment']!r} "
+                f"does not match filename"
+            )
+        loaded[document["experiment"]] = document
+    order = {name: index for index, name in enumerate(experiment_names())}
+    return dict(
+        sorted(loaded.items(), key=lambda item: order.get(item[0], 99))
+    )
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return f"{value:g}"
+    return str(value).replace("|", "\\|")
+
+
+def _format_number(value: float) -> str:
+    return f"{value:.4g}"
+
+
+def _markdown_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(_format_cell(c) for c in row) + " |")
+    return "\n".join(lines)
+
+
+def _paper_section(name: str, headline: Dict[str, float]) -> List[str]:
+    anchors = PAPER_HEADLINES.get(name)
+    if not anchors:
+        return []
+    rows = []
+    for key, spec in anchors.items():
+        if key not in headline:
+            continue
+        paper = spec["paper"]
+        measured = headline[key]
+        delta = (measured - paper) / paper if paper else 0.0
+        verdict = "✔" if abs(delta) <= spec["band"] else "✘"
+        rows.append(
+            [key, _format_number(paper), _format_number(measured),
+             f"{delta * 100:+.1f}%", verdict]
+        )
+    if not rows:
+        return []
+    return [
+        "Paper vs measured:",
+        "",
+        _markdown_table(
+            ["metric", "paper", "measured", "delta", "within band"], rows
+        ),
+        "",
+    ]
+
+
+def generate_markdown(results: Dict[str, Dict[str, Any]]) -> str:
+    """Render result documents into the EXPERIMENTS.md text."""
+    lines: List[str] = [
+        "# EXPERIMENTS — paper vs measured",
+        "",
+        "<!-- Generated by `repro bench report`; do not edit by hand.",
+        "     Regenerate: `python -m repro bench report`",
+        "     Verify:     `python -m repro bench report --check` -->",
+        "",
+        "Every table and figure of the paper's evaluation (Section VI), "
+        "regenerated",
+        "from the committed `results/BENCH_*.json` measurements "
+        "(`python -m repro bench`",
+        "refreshes those).  Selectivities are measured on the *functional* "
+        "layer (real",
+        "data through the real storlet); timings come from the calibrated "
+        "performance",
+        "model of the 63-machine OSIC testbed (DESIGN.md section 2).",
+        "",
+        "Reading guide: we reproduce *shape* — who wins, by roughly "
+        "what factor,",
+        "where crossovers fall — not the authors' absolute seconds.  "
+        "Wall-clock",
+        "timings and latency percentiles live in the JSON documents, not "
+        "here, so this",
+        "file is byte-stable across machines.",
+        "",
+    ]
+    for name, document in results.items():
+        lines.append(f"## {document['title']}")
+        lines.append("")
+        lines.append(f"**Paper:** {document['paper']}")
+        if document["mode"] != "full":
+            lines.append("")
+            lines.append(
+                f"*Mode: {document['mode']} (reduced sample sizes).*"
+            )
+        lines.append("")
+        experiment = EXPERIMENTS.get(name)
+        for note in experiment.notes if experiment else ():
+            lines.append(note)
+            lines.append("")
+        for table in document["tables"]:
+            lines.append(f"**{table['title']}**")
+            lines.append("")
+            lines.append(_markdown_table(table["headers"], table["rows"]))
+            lines.append("")
+        lines.extend(_paper_section(name, document["headline"]))
+        lines.append("Checks:")
+        lines.append("")
+        for check in document["checks"]:
+            mark = "✔" if check["passed"] else "✘"
+            detail = f" — {check['detail']}" if check["detail"] else ""
+            lines.append(f"- {mark} {check['name']}{detail}")
+        lines.append("")
+    lines.append(_EPILOGUE)
+    return "\n".join(lines)
+
+
+def write_report(
+    results_dir: Union[str, Path], out_path: Union[str, Path]
+) -> str:
+    """Regenerate ``out_path`` from ``results_dir``; return the text."""
+    text = generate_markdown(load_results(results_dir))
+    Path(out_path).write_text(text)
+    return text
+
+
+def check_document(
+    results_dir: Union[str, Path], doc_path: Union[str, Path]
+) -> List[str]:
+    """Diff the committed document against a regeneration.
+
+    Returns unified-diff lines; an empty list means no drift.  A
+    missing document counts as full drift.
+    """
+    expected = generate_markdown(load_results(results_dir))
+    path = Path(doc_path)
+    if not path.exists():
+        return [f"missing document: {path}"]
+    actual = path.read_text()
+    if actual == expected:
+        return []
+    return list(
+        difflib.unified_diff(
+            actual.splitlines(),
+            expected.splitlines(),
+            fromfile=str(path),
+            tofile="regenerated",
+            lineterm="",
+        )
+    )
+
+
+def compare_to_baseline(
+    documents: Sequence[Dict[str, Any]],
+    baseline_dir: Union[str, Path],
+    tolerance: float = 0.05,
+) -> List[str]:
+    """Flag headline metrics that drifted from a prior results dir.
+
+    The model is deterministic, so any relative change beyond
+    ``tolerance`` in a shared headline metric (or a check that
+    regressed from pass to fail) is reported.  Returns human-readable
+    regression lines; empty means the gate passes.
+    """
+    baseline = load_results(baseline_dir)
+    regressions: List[str] = []
+    for document in documents:
+        name = document["experiment"]
+        base = baseline.get(name)
+        if base is None:
+            continue
+        for key, value in sorted(document["headline"].items()):
+            prior = base["headline"].get(key)
+            if prior is None:
+                continue
+            if prior == 0:
+                drift = abs(value) > tolerance
+                delta = value
+            else:
+                delta = (value - prior) / abs(prior)
+                drift = abs(delta) > tolerance
+            if drift:
+                regressions.append(
+                    f"{name}.{key}: {_format_number(prior)} -> "
+                    f"{_format_number(value)} ({delta * 100:+.1f}%)"
+                )
+        passed_before = {
+            check["name"] for check in base["checks"] if check["passed"]
+        }
+        for check in document["checks"]:
+            if not check["passed"] and check["name"] in passed_before:
+                regressions.append(
+                    f"{name}: check regressed: {check['name']} "
+                    f"({check['detail']})"
+                )
+    return regressions
+
+
+def render_document_tables(
+    document: Dict[str, Any], renderer: Optional[Any] = None
+) -> None:
+    """Print every table of one result document via ``renderer`` (the
+    benchmark suite passes :func:`repro.experiments.report.render_table`
+    to keep its familiar ASCII output)."""
+    if renderer is None:
+        from repro.experiments.report import render_table as renderer
+    for table in document["tables"]:
+        renderer(table["title"], table["headers"], table["rows"])

@@ -1,0 +1,163 @@
+"""The BENCH result-document schema and a dependency-free validator.
+
+Every ``repro bench`` run emits one ``BENCH_<name>.json`` per
+experiment; the report generator and the baseline-comparison gate both
+consume these documents, so their shape is a contract.  The repo
+declares no third-party dependencies (``pyproject.toml``), so instead
+of importing ``jsonschema`` this module implements the small subset of
+JSON Schema the contract needs: ``type``, ``required``, ``properties``,
+``additionalProperties``, ``items``, ``enum``, ``minimum`` and
+``minItems``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+#: Version stamped into (and required from) every result document;
+#: bump on any incompatible shape change.
+SCHEMA_VERSION = 1
+
+_CHECK_SCHEMA: Dict[str, Any] = {
+    "type": "object",
+    "required": ["name", "passed", "detail"],
+    "properties": {
+        "name": {"type": "string"},
+        "passed": {"type": "boolean"},
+        "detail": {"type": "string"},
+    },
+}
+
+_TABLE_SCHEMA: Dict[str, Any] = {
+    "type": "object",
+    "required": ["title", "headers", "rows"],
+    "properties": {
+        "title": {"type": "string"},
+        "headers": {"type": "array", "minItems": 1, "items": {"type": "string"}},
+        "rows": {"type": "array", "items": {"type": "array"}},
+    },
+}
+
+#: The contract for one ``BENCH_<name>.json`` document.
+BENCH_RESULT_SCHEMA: Dict[str, Any] = {
+    "type": "object",
+    "required": [
+        "schema_version",
+        "experiment",
+        "title",
+        "mode",
+        "paper",
+        "tables",
+        "results",
+        "headline",
+        "checks",
+        "metrics",
+        "timing",
+        "trace",
+    ],
+    "properties": {
+        "schema_version": {"type": "integer", "enum": [SCHEMA_VERSION]},
+        "experiment": {"type": "string"},
+        "title": {"type": "string"},
+        "mode": {"type": "string", "enum": ["full", "quick"]},
+        "paper": {"type": "string"},
+        "tables": {"type": "array", "minItems": 1, "items": _TABLE_SCHEMA},
+        "results": {"type": "object"},
+        "headline": {"type": "object"},
+        "checks": {"type": "array", "minItems": 1, "items": _CHECK_SCHEMA},
+        "metrics": {
+            "type": "object",
+            "required": ["histograms"],
+            "properties": {"histograms": {"type": "object"}},
+        },
+        "timing": {
+            "type": "object",
+            "required": ["wall_seconds"],
+            "properties": {"wall_seconds": {"type": "number", "minimum": 0}},
+        },
+        "trace": {
+            "type": "object",
+            "required": ["spans", "dropped"],
+            "properties": {
+                "file": {"type": "string"},
+                "spans": {"type": "integer", "minimum": 1},
+                "dropped": {"type": "integer", "minimum": 0},
+            },
+        },
+    },
+}
+
+_TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    "boolean": lambda v: isinstance(v, bool),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: isinstance(v, (int, float))
+    and not isinstance(v, bool),
+}
+
+
+class SchemaError(ValueError):
+    """A document does not match its schema (message names the path)."""
+
+
+def validate(data: Any, schema: Dict[str, Any], path: str = "$") -> None:
+    """Check ``data`` against ``schema``; raise :class:`SchemaError`.
+
+    Supports the subset of JSON Schema listed in the module docstring;
+    an unknown keyword in ``schema`` is a programming error and raises
+    immediately rather than passing silently.
+    """
+    known = {
+        "type",
+        "required",
+        "properties",
+        "additionalProperties",
+        "items",
+        "enum",
+        "minimum",
+        "minItems",
+    }
+    unknown = set(schema) - known
+    if unknown:
+        raise SchemaError(f"{path}: unsupported schema keywords {unknown}")
+    expected = schema.get("type")
+    if expected is not None:
+        checker = _TYPE_CHECKS.get(expected)
+        if checker is None:
+            raise SchemaError(f"{path}: unknown type {expected!r}")
+        if not checker(data):
+            raise SchemaError(
+                f"{path}: expected {expected}, got {type(data).__name__}"
+            )
+    if "enum" in schema and data not in schema["enum"]:
+        raise SchemaError(f"{path}: {data!r} not in {schema['enum']}")
+    if "minimum" in schema and data < schema["minimum"]:
+        raise SchemaError(f"{path}: {data!r} < minimum {schema['minimum']}")
+    if isinstance(data, dict):
+        for key in schema.get("required", ()):
+            if key not in data:
+                raise SchemaError(f"{path}: missing required key {key!r}")
+        properties = schema.get("properties", {})
+        if schema.get("additionalProperties") is False:
+            extra = set(data) - set(properties)
+            if extra:
+                raise SchemaError(f"{path}: unexpected keys {sorted(extra)}")
+        for key, sub in properties.items():
+            if key in data:
+                validate(data[key], sub, f"{path}.{key}")
+    if isinstance(data, list):
+        if len(data) < schema.get("minItems", 0):
+            raise SchemaError(
+                f"{path}: {len(data)} items < minItems {schema['minItems']}"
+            )
+        sub = schema.get("items")
+        if sub is not None:
+            for index, item in enumerate(data):
+                validate(item, sub, f"{path}[{index}]")
+
+
+def validate_result(document: Any) -> None:
+    """Validate one BENCH result document against the contract."""
+    validate(document, BENCH_RESULT_SCHEMA)

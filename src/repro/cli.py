@@ -17,6 +17,11 @@ Commands:
 ``trace``
     Run one traced pushdown query and export every tier's spans as
     JSON or Chrome ``trace_event`` format (chrome://tracing, Perfetto).
+``bench``
+    Run the paper's evaluation artifacts as named experiments
+    (``BENCH_<name>.json`` + a Chrome trace each), regenerate
+    EXPERIMENTS.md from the measured JSON, or gate drift/regressions
+    (docs/benchmarking.md).
 """
 
 from __future__ import annotations
@@ -43,6 +48,7 @@ EXPERIMENT_NAMES = (
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """Build the ``repro`` argument parser with every subcommand."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
@@ -109,7 +115,95 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the export to a file instead of stdout",
     )
     _add_resilience_options(trace)
+
+    bench = commands.add_parser(
+        "bench",
+        help="run paper experiments, generate reports, gate drift",
+    )
+    bench_commands = bench.add_subparsers(dest="bench_command", required=True)
+
+    bench_run = bench_commands.add_parser(
+        "run", help="run experiments and capture BENCH_<name>.json"
+    )
+    bench_run.add_argument(
+        "--figures",
+        default="all",
+        help=(
+            "comma-separated experiment names (e.g. fig5,fig10) or "
+            "'all' (default)"
+        ),
+    )
+    bench_run.add_argument(
+        "--quick",
+        action="store_true",
+        help="shrink the expensive functional stages (CI-sized run)",
+    )
+    bench_run.add_argument(
+        "--out-dir",
+        type=pathlib.Path,
+        default=pathlib.Path("results"),
+        help="directory for BENCH_<name>.json + trace files "
+        "(default: results)",
+    )
+    bench_run.add_argument(
+        "--baseline",
+        type=pathlib.Path,
+        default=None,
+        help="prior results directory to gate regressions against",
+    )
+    bench_run.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.05,
+        help="relative headline drift allowed vs --baseline "
+        "(default: 0.05)",
+    )
+
+    bench_report = bench_commands.add_parser(
+        "report", help="regenerate EXPERIMENTS.md from measured JSON"
+    )
+    bench_report.add_argument(
+        "--results",
+        type=pathlib.Path,
+        default=pathlib.Path("results"),
+        help="directory holding BENCH_<name>.json (default: results)",
+    )
+    bench_report.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=pathlib.Path("EXPERIMENTS.md"),
+        help="document to (re)generate (default: EXPERIMENTS.md)",
+    )
+    bench_report.add_argument(
+        "--check",
+        action="store_true",
+        help="diff the committed document against a regeneration "
+        "instead of writing; non-zero exit on drift",
+    )
+
+    bench_commands.add_parser(
+        "list", help="list the registered experiments"
+    )
     return parser
+
+
+#: ``repro bench --figures ...`` (no subcommand) is sugar for
+#: ``repro bench run ...``; these are the tokens that suppress it.
+_BENCH_SUBCOMMANDS = ("run", "report", "list")
+
+
+def _normalize_argv(argv: List[str]) -> List[str]:
+    """Insert the implicit ``run`` after a bare ``bench`` command."""
+    for index, token in enumerate(argv):
+        if token.startswith("-"):
+            continue
+        if token != "bench":
+            return argv
+        rest = argv[index + 1:]
+        if rest and rest[0] in _BENCH_SUBCOMMANDS + ("-h", "--help"):
+            return argv
+        return argv[: index + 1] + ["run"] + rest
+    return argv
 
 
 def _add_resilience_options(parser: argparse.ArgumentParser) -> None:
@@ -173,7 +267,10 @@ def _resilience_context(args, **context_kwargs):
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    """Parse arguments and dispatch to a subcommand; returns exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    args = build_parser().parse_args(_normalize_argv(list(argv)))
     if args.command == "demo":
         return _demo(args)
     if args.command == "generate":
@@ -186,7 +283,104 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _chaos(args)
     if args.command == "trace":
         return _trace(args)
+    if args.command == "bench":
+        return _bench(args)
     return 2  # pragma: no cover - argparse enforces the choices
+
+
+def _bench(args) -> int:
+    from repro.bench import (
+        check_document,
+        compare_to_baseline,
+        experiment_names,
+        load_results,
+        run_suite,
+        write_report,
+    )
+    from repro.bench.experiments import EXPERIMENTS
+
+    if args.bench_command == "list":
+        for name in experiment_names():
+            print(f"{name}: {EXPERIMENTS[name].title}")
+        return 0
+
+    if args.bench_command == "report":
+        if args.check:
+            try:
+                diff = check_document(args.results, args.out)
+            except (FileNotFoundError, ValueError) as error:
+                print(f"report check failed: {error}", file=sys.stderr)
+                return 1
+            if diff:
+                print(
+                    f"{args.out} drifted from {args.results}:",
+                    file=sys.stderr,
+                )
+                for line in diff[:80]:
+                    print(line, file=sys.stderr)
+                return 1
+            print(f"{args.out} matches {args.results}")
+            return 0
+        write_report(args.results, args.out)
+        print(f"wrote {args.out} from {args.results}")
+        return 0
+
+    # bench run
+    if args.figures.strip().lower() == "all":
+        names = experiment_names()
+    else:
+        names = [
+            token.strip()
+            for token in args.figures.split(",")
+            if token.strip()
+        ]
+    mode = "quick" if args.quick else "full"
+
+    def progress(name, document):
+        """Print a one-line summary as each experiment completes."""
+        checks = document["checks"]
+        passed = sum(1 for check in checks if check["passed"])
+        wall = document["timing"]["wall_seconds"]
+        print(
+            f"  {name}: {passed}/{len(checks)} checks, "
+            f"{document['trace']['spans']} spans, {wall:.2f}s"
+        )
+
+    print(f"running {len(names)} experiment(s) ({mode}) -> {args.out_dir}")
+    try:
+        documents = run_suite(
+            names, quick=args.quick, out_dir=args.out_dir, progress=progress
+        )
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    failed = [
+        (document["experiment"], check)
+        for document in documents
+        for check in document["checks"]
+        if not check["passed"]
+    ]
+    for name, check in failed:
+        print(
+            f"FAILED check [{name}] {check['name']}: {check['detail']}",
+            file=sys.stderr,
+        )
+    if args.baseline is not None:
+        try:
+            regressions = compare_to_baseline(
+                documents, args.baseline, args.tolerance
+            )
+        except (FileNotFoundError, ValueError) as error:
+            print(f"baseline compare failed: {error}", file=sys.stderr)
+            return 1
+        for line in regressions:
+            print(f"REGRESSION vs {args.baseline}: {line}", file=sys.stderr)
+        if regressions:
+            return 1
+    # Surface what was captured (also proves the directory round-trips).
+    load_results(args.out_dir)
+    print(f"captured {len(documents)} BENCH document(s) in {args.out_dir}")
+    return 1 if failed else 0
 
 
 def _demo(args) -> int:
@@ -234,6 +428,7 @@ def _chaos(args) -> int:
     )
 
     def run_all(ctx):
+        """Upload the corpus and run every Table-I query on ``ctx``."""
         upload_dataset(ctx.client, "meters", spec)
         ctx.register_csv_table("largeMeter", "meters", schema=METER_SCHEMA)
         results = {}

@@ -16,17 +16,28 @@ primitives every tier hooks into:
   stats) without changing their public APIs.
 """
 
-from repro.obs.metrics import MetricsRegistry, get_registry, set_registry
+from repro.obs.metrics import (
+    LATENCY_BUCKETS_SECONDS,
+    SIMULATED_SECONDS_BUCKETS,
+    HistogramStats,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
 from repro.obs.trace import (
     TRACE_HEADER,
     Span,
     TraceCollector,
     get_collector,
     set_collector,
+    validate_chrome_trace,
 )
 
 __all__ = [
     "TRACE_HEADER",
+    "LATENCY_BUCKETS_SECONDS",
+    "SIMULATED_SECONDS_BUCKETS",
+    "HistogramStats",
     "Span",
     "TraceCollector",
     "MetricsRegistry",
@@ -34,4 +45,5 @@ __all__ = [
     "set_collector",
     "get_registry",
     "set_registry",
+    "validate_chrome_trace",
 ]

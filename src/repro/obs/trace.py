@@ -71,6 +71,7 @@ class Span:
     _live: bool = field(default=True, repr=False, compare=False)
 
     def to_dict(self) -> Dict[str, Any]:
+        """The span as plain JSON-ready data."""
         return {
             "trace_id": self.trace_id,
             "span_id": self.span_id,
@@ -116,9 +117,11 @@ class TraceCollector:
     # -- lifecycle ---------------------------------------------------------
 
     def enable(self) -> None:
+        """Start recording spans."""
         self.enabled = True
 
     def disable(self) -> None:
+        """Stop recording spans (already-recorded spans are kept)."""
         self.enabled = False
 
     def reset(self) -> None:
@@ -246,6 +249,7 @@ class TraceCollector:
     # -- queries -------------------------------------------------------------
 
     def snapshot(self) -> List[Span]:
+        """A point-in-time copy of every recorded span."""
         with self._lock:
             return list(self.spans)
 
@@ -328,6 +332,50 @@ class TraceCollector:
                 self.dropped += 1
                 return
             self.spans.append(span)
+
+
+def validate_chrome_trace(data: Any) -> None:
+    """Assert that ``data`` is a loadable Chrome ``trace_event`` export.
+
+    The round-trip contract the CI observability job and the benchmark
+    harness both rely on: a top-level ``traceEvents`` list whose events
+    are complete (``ph: "X"``, with numeric ``ts``/``dur >= 0``) or
+    metadata (``ph: "M"``) entries carrying integer ``pid``/``tid``, and
+    every virtual thread used by a complete event has a ``thread_name``
+    metadata record.  Raises :class:`ValueError` on the first violation.
+    """
+    if not isinstance(data, dict) or "traceEvents" not in data:
+        raise ValueError("chrome trace must be an object with traceEvents")
+    events = data["traceEvents"]
+    if not isinstance(events, list) or not events:
+        raise ValueError("traceEvents must be a non-empty list")
+    named_tids = set()
+    used_tids = set()
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            raise ValueError(f"{where} is not an object")
+        if event.get("ph") not in ("X", "M"):
+            raise ValueError(f"{where}: ph must be 'X' or 'M'")
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                raise ValueError(f"{where}: {key} must be an integer")
+        if event["ph"] == "M":
+            if event.get("name") != "thread_name":
+                raise ValueError(f"{where}: metadata must name a thread")
+            named_tids.add(event["tid"])
+            continue
+        if not isinstance(event.get("name"), str):
+            raise ValueError(f"{where}: name must be a string")
+        for key in ("ts", "dur"):
+            if not isinstance(event.get(key), (int, float)):
+                raise ValueError(f"{where}: {key} must be numeric")
+        if event["dur"] < 0:
+            raise ValueError(f"{where}: dur must be >= 0")
+        used_tids.add(event["tid"])
+    unnamed = used_tids - named_tids
+    if unnamed:
+        raise ValueError(f"spans on unnamed virtual threads: {sorted(unnamed)}")
 
 
 class _SpanContext:

@@ -241,6 +241,13 @@ class SwiftClient:
         """Store an object; returns its etag."""
         merged = HeaderDict(headers or {})
         merged.setdefault("content-type", content_type)
+        # Uploads enter the system here (the connector only mints trace
+        # ids for the GET path), so give each PUT its own trace id; the
+        # proxy, ETL storlet sandbox and object tiers all read it from
+        # the header and attach their spans to the same request.
+        tracer = get_collector()
+        if tracer.enabled and not merged.get(TRACE_HEADER):
+            merged[TRACE_HEADER] = tracer.new_trace_id()
         if isinstance(data, str):
             data = data.encode("utf-8")
         response = self._checked(

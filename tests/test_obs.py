@@ -158,6 +158,87 @@ class TestMetricsRegistry:
         assert empty == {"counters": {}, "gauges": {}, "histograms": {}}
 
 
+class TestBucketedHistograms:
+    def test_declared_buckets_enable_percentiles(self):
+        registry = MetricsRegistry()
+        registry.declare_histogram("lat", (0.1, 0.5, 1.0, 5.0))
+        for value in (0.05, 0.2, 0.3, 0.7, 2.0):
+            registry.observe("lat", value)
+        stats = registry.histogram("lat")
+        assert stats.bucket_counts == [1, 2, 1, 1, 0]
+        quantiles = stats.percentiles()
+        assert set(quantiles) == {"p50", "p95", "p99"}
+        # Estimates interpolate inside the fixed buckets but never
+        # leave the observed range.
+        assert stats.minimum <= quantiles["p50"] <= quantiles["p95"]
+        assert quantiles["p95"] <= quantiles["p99"] <= stats.maximum
+
+    def test_percentile_interpolates_within_bucket(self):
+        registry = MetricsRegistry()
+        registry.declare_histogram("lat", (1.0, 2.0))
+        for value in (1.2, 1.4, 1.6, 1.8):
+            registry.observe("lat", value)
+        # All four samples sit in the (1.0, 2.0] bucket: the median
+        # estimate is the bucket midpoint, clamped estimates stay
+        # inside [min, max].
+        stats = registry.histogram("lat")
+        assert stats.percentile(0.5) == pytest.approx(1.5)
+        assert stats.percentile(0.0) == pytest.approx(1.2)
+        assert stats.percentile(1.0) == pytest.approx(1.8)
+
+    def test_overflow_bucket_uses_observed_maximum(self):
+        registry = MetricsRegistry()
+        registry.declare_histogram("lat", (1.0,))
+        registry.observe("lat", 10.0)
+        stats = registry.histogram("lat")
+        assert stats.bucket_counts == [0, 1]
+        assert stats.percentile(0.99) == 10.0
+
+    def test_unbucketed_series_has_no_percentiles(self):
+        registry = MetricsRegistry()
+        registry.observe("plain", 1.0)
+        assert registry.histogram("plain").percentiles() is None
+        assert "p50" not in registry.histogram("plain").to_dict()
+
+    def test_redeclaring_different_buckets_raises(self):
+        registry = MetricsRegistry()
+        registry.declare_histogram("lat", (1.0, 2.0))
+        registry.declare_histogram("lat", (2.0, 1.0))  # same set: fine
+        with pytest.raises(ValueError):
+            registry.declare_histogram("lat", (5.0,))
+
+    def test_to_dict_carries_buckets_and_percentiles(self):
+        registry = MetricsRegistry()
+        registry.declare_histogram("lat", (1.0, 2.0))
+        registry.observe("lat", 0.5)
+        payload = registry.histogram("lat").to_dict()
+        assert payload["buckets"] == [1.0, 2.0]
+        assert payload["bucket_counts"] == [1, 0, 0]
+        assert {"p50", "p95", "p99"} <= set(payload)
+        json.dumps(payload)
+
+    def test_histogram_series_lists_label_sets(self):
+        registry = MetricsRegistry()
+        registry.declare_histogram("lat", (1.0,))
+        registry.observe("lat", 0.5, experiment="fig1")
+        registry.observe("lat", 0.7, experiment="fig5")
+        registry.observe("other", 1.0)
+        series = registry.histogram_series("lat")
+        assert list(series) == [
+            "lat{experiment=fig1}",
+            "lat{experiment=fig5}",
+        ]
+        assert all(stats.count == 1 for stats in series.values())
+
+    def test_declared_layouts_survive_reset(self):
+        registry = MetricsRegistry()
+        registry.declare_histogram("lat", (1.0,))
+        registry.observe("lat", 0.5)
+        registry.reset()
+        registry.observe("lat", 0.5)
+        assert registry.histogram("lat").percentiles() is not None
+
+
 SCHEMA = Schema.of("vid", "date", "index:float", "city")
 
 
@@ -285,6 +366,70 @@ class TestAcceptanceReconciliation:
         )
         assert profile["faults_injected"] == traced_scoop.fault_plan.fired()
         json.dumps(profile)  # JSON-ready
+
+
+class TestPutPathTracing:
+    """PUT-path ETL invocations carry a trace id end to end: the client
+    mints one per upload (the connector only does so for GETs), and the
+    proxy, ETL storlet sandbox and object tiers attach their spans to
+    it."""
+
+    def _etl_upload(self):
+        context = ScoopContext(
+            trace=True,
+            storage_node_count=2,
+            disks_per_node=1,
+        )
+        raw = "m0001, 2015-01-01 ,1.5,Paris\n\nm0002,2015-01-02,2.5,Lyon\n"
+        context.upload_csv("meters", "data.csv", raw, etl_schema=SCHEMA)
+        return context
+
+    def test_upload_spans_share_one_minted_trace_id(self):
+        context = self._etl_upload()
+        spans = context.tracer.snapshot()
+        put_spans = [
+            s for s in spans
+            if s.trace_id and "PUT" in s.operation or s.tier == "storlet"
+        ]
+        put_ids = {
+            s.trace_id
+            for s in spans
+            if s.tier == "client" and s.operation.startswith("PUT /")
+            and "data.csv" in s.operation
+        }
+        assert len(put_ids) == 1
+        (trace_id,) = put_ids
+        assert trace_id  # minted, not blank
+        tiers = {
+            s.tier for s in spans if s.trace_id == trace_id
+        }
+        # Full per-tier coverage for the upload pipeline.
+        assert {"client", "proxy", "storlet", "object"} <= tiers
+        assert put_spans
+
+    def test_etl_storlet_bytes_reconcile_on_put(self):
+        context = self._etl_upload()
+        spans = context.tracer.snapshot()
+        storlet_spans = [
+            s for s in spans if s.tier == "storlet" and s.trace_id
+        ]
+        assert storlet_spans
+        # The cleansing storlet consumed the raw upload and emitted the
+        # cleansed object actually stored (replica writes then fan out),
+        # so trace bytes reconcile with what the store holds.
+        bytes_out = sum(s.bytes_out for s in storlet_spans)
+        _headers, stored = context.client.get_object("meters", "data.csv")
+        replicas = context.cluster.object_ring.replica_count
+        assert bytes_out == len(stored) * len(storlet_spans)
+        assert sum(s.bytes_in for s in storlet_spans) > 0
+        assert len(storlet_spans) <= max(replicas, 1)
+
+    def test_plain_put_without_tracer_stays_unlabelled(self):
+        context = ScoopContext(
+            storage_node_count=2, disks_per_node=1
+        )
+        context.upload_csv("c", "o.csv", "a,1\n")
+        assert context.tracer.snapshot() == []
 
 
 class TestTraceDisabledByDefault:
