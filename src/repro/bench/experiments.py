@@ -43,7 +43,10 @@ from repro.experiments.gridpocket_runs import (
     fig7_total_batch_seconds,
     table1_selectivities,
 )
-from repro.experiments.workday import simulate_workday
+from repro.experiments.workday import (
+    simulate_multitenant_workday,
+    simulate_workday,
+)
 from repro.gridpocket.generator import DatasetSpec
 from repro.perfmodel.concurrent import neighbour_impact
 from repro.perfmodel.parameters import DATASETS
@@ -650,6 +653,60 @@ def _run_workday(bench: "BenchContext") -> None:
         "every pushdown query finishes before the next arrives",
         pushdown.max_response_time() < inter_arrival,
         f"max {pushdown.max_response_time():.1f} s < {inter_arrival:.0f} s",
+    )
+
+    # Multi-tenant leg (docs/admission.md): a seeded arrival trace from
+    # three tenant classes runs behind token-bucket admission control.
+    # The p99 SLO, the shed-rate band, and the zero-violation quota
+    # audit are the recorded acceptance criteria.
+    horizon = 600.0 if bench.quick else 1800.0
+    p99_slo = 30.0
+    shed_bound = 0.5
+    with bench.point(f"multi-tenant workday ({horizon:.0f} s horizon)"):
+        mt = simulate_multitenant_workday(
+            horizon_seconds=horizon, dataset="small", table1=table1
+        )
+    bench.add_table(
+        "Multi-tenant workday -- admission control per tenant class",
+        ["tenant", "arrivals", "admitted", "shed", "shed rate"],
+        [
+            [name, int(s["arrivals"]), int(s["admitted"]), int(s["shed"]),
+             _pct(s["shed_rate"])]
+            for name, s in sorted(mt.tenant_summary.items())
+        ],
+    )
+    bench.set_result(
+        "multitenant",
+        {
+            "arrivals": len(mt.queries),
+            "admitted": len(mt.admitted),
+            "shed": mt.shed_count,
+            "shed_rate": mt.shed_rate,
+            "p99_response_seconds": mt.p99_response_time(),
+            "mean_response_seconds": mt.mean_response_time(),
+            "p99_slo_seconds": p99_slo,
+            "quota_violations": mt.quota_violations,
+            "tenants": mt.tenant_summary,
+        },
+    )
+    bench.set_headline("multitenant_p99_seconds", mt.p99_response_time())
+    bench.set_headline("multitenant_shed_rate", mt.shed_rate)
+    bench.check(
+        f"admitted p99 meets the {p99_slo:.0f} s SLO",
+        0.0 < mt.p99_response_time() <= p99_slo,
+        f"p99 {mt.p99_response_time():.1f} s",
+    )
+    bench.check(
+        "shedding engages but stays bounded",
+        0.0 < mt.shed_rate <= shed_bound,
+        f"shed {mt.shed_count}/{len(mt.queries)} "
+        f"({_pct(mt.shed_rate)}), bound {_pct(shed_bound)}",
+    )
+    bench.check(
+        "zero sliding-window quota violations",
+        mt.quota_violations == 0,
+        f"{mt.quota_violations} violations across "
+        f"{len(mt.tenant_summary)} tenants",
     )
 
 

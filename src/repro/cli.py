@@ -29,6 +29,7 @@ from __future__ import annotations
 import argparse
 import pathlib
 import sys
+import time
 from typing import List, Optional
 
 EXPERIMENT_NAMES = (
@@ -243,6 +244,36 @@ def _add_resilience_options(parser: argparse.ArgumentParser) -> None:
         default="none",
         help="named fault plan to inject (default: none)",
     )
+    qos = parser.add_argument_group("admission control (docs/admission.md)")
+    qos.add_argument(
+        "--tenant",
+        default=None,
+        help="tenant this run's requests bill against (default: anonymous)",
+    )
+    qos.add_argument(
+        "--tenant-rate",
+        type=float,
+        default=None,
+        help=(
+            "sustained requests/second the tenant may issue; enables "
+            "token-bucket admission (over-quota requests shed with 429)"
+        ),
+    )
+    qos.add_argument(
+        "--tenant-burst",
+        type=float,
+        default=None,
+        help="token-bucket burst size (default: 2x --tenant-rate)",
+    )
+    qos.add_argument(
+        "--queue-depth",
+        type=int,
+        default=None,
+        help=(
+            "bound on queued requests per saturated proxy; beyond it "
+            "requests shed with 503 + Retry-After (default: unbounded)"
+        ),
+    )
 
 
 def _resilience_context(args, **context_kwargs):
@@ -258,10 +289,35 @@ def _resilience_context(args, **context_kwargs):
     plan = None
     if args.fault_plan != "none":
         plan = named_plan(args.fault_plan, seed=args.fault_seed)
+    qos = None
+    tenant = getattr(args, "tenant", None)
+    rate = getattr(args, "tenant_rate", None)
+    queue_depth = getattr(args, "queue_depth", None)
+    if rate is not None or queue_depth is not None:
+        from repro.qos import QosConfig, TenantQuota
+
+        quota = None
+        if rate is not None:
+            quota = TenantQuota(
+                name=tenant or "anonymous",
+                request_rate=rate,
+                request_burst=getattr(args, "tenant_burst", None) or rate * 2,
+            )
+        qos = QosConfig(
+            tenants=(quota,) if quota is not None else (),
+            max_queue_depth=queue_depth,
+        )
+    # CLI QoS runs off the real monotonic clock, so Retry-After pacing
+    # must really sleep — otherwise every retry of a shed request fires
+    # instantly and is shed again.
+    sleeper = time.sleep if qos is not None else None
     return ScoopContext(
         retry_policy=policy,
         fault_plan=plan,
         parallelism=getattr(args, "parallelism", None),
+        qos=qos,
+        tenant=tenant,
+        sleeper=sleeper,
         **context_kwargs,
     )
 

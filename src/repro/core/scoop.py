@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.connector.stocator import StocatorConnector
 from repro.core.delegator import AnalyticsDelegator
@@ -83,6 +83,10 @@ class ScoopContext:
         parallelism: Optional[int] = None,
         proxy_concurrency: Optional[int] = 8,
         trace: Optional[bool] = None,
+        qos=None,
+        qos_clock=None,
+        tenant: Optional[str] = None,
+        sleeper: Optional[Callable[[float], None]] = None,
     ):
         # Scheduler pool size: how many partition tasks run at once.
         # Defaults to the REPRO_PARALLELISM env var (CI runs the whole
@@ -118,6 +122,8 @@ class ScoopContext:
             # models a finite client (a real swiftclient keeps a small
             # connection pool per endpoint).
             max_connections=max(4, parallelism * 2),
+            tenant=tenant,
+            sleeper=sleeper,
         )
         self.connector = StocatorConnector(self.client, chunk_size=chunk_size)
         # Pin the connector's mirror target so this context's boundary
@@ -152,6 +158,29 @@ class ScoopContext:
             self.fault_injector = install_fault_plan(
                 self.cluster, fault_plan, engine=self.engine
             )
+
+        # QoS wiring (docs/admission.md): also installed after the
+        # storlet deployments, so control-plane PUTs never bill against
+        # tenant quotas.  Brownout reads each storage node's cumulative
+        # sandbox CPU through a lazily-bound gauge.
+        self.qos = qos
+        if qos is not None:
+            self.cluster.install_qos(qos, clock=qos_clock)
+            if qos.brownout_cpu_watermark is not None:
+                for node_name in self.cluster.object_servers:
+                    self.cluster.install_brownout_gauge(
+                        node_name, self._node_cpu_gauge(node_name)
+                    )
+
+    def _node_cpu_gauge(self, node_name: str):
+        """A gauge reading ``node_name``'s cumulative storlet CPU
+        seconds (0.0 until its sandbox is warmed)."""
+
+        def gauge() -> float:
+            sandbox = self.engine.all_sandboxes().get(node_name)
+            return sandbox.stats.cpu_seconds if sandbox is not None else 0.0
+
+        return gauge
 
     # -- data management ----------------------------------------------------
 
@@ -361,6 +390,19 @@ class ScoopContext:
                 "proxy_peak_inflight"
             ],
         }
+
+    def qos_summary(self) -> Dict[str, object]:
+        """Admission/QoS counters (docs/admission.md): sheds by cause,
+        breaker rejections and states, brownout demotions, per-tenant
+        ledgers, and the retries the client paced via ``Retry-After``.
+
+        Like :meth:`concurrency_summary`, this is clock- and
+        timing-dependent by nature and deliberately not part of the
+        determinism-asserted :meth:`resilience_summary`.
+        """
+        summary = dict(self.cluster.qos_summary())
+        summary["retry_after_honored"] = self.client.stats.retry_after_honored
+        return summary
 
     def explain_profile(
         self,

@@ -11,17 +11,28 @@ queries *arrive on a schedule* (an analyst fires one every few minutes)
 and contend on the shared cluster.  Plain ingest-then-compute queries
 pile up behind the saturated load-balancer link; pushdown queries finish
 before the next one arrives.
+
+:func:`simulate_multitenant_workday` extends the replay to the QoS tier
+(docs/admission.md): several tenant classes with seeded exponential
+arrivals share the cluster behind a token-bucket admission controller
+driven by a virtual clock; over-quota arrivals are shed open-loop, the
+admitted stream runs through the concurrent ingest simulation, and the
+result carries p99 response time, the shed rate, and an exhaustive
+sliding-window audit that no tenant ever exceeded burst + rate x T
+admissions inside any window.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.gridpocket_runs import Table1Row, table1_selectivities
 from repro.perfmodel.concurrent import ConcurrentIngestSimulation, JobSpec
 from repro.perfmodel.model import SelectivityProfile
 from repro.perfmodel.parameters import DATASETS, PerfParameters
+from repro.qos.admission import AdmissionController, TenantQuota, VirtualClock
 
 
 @dataclass
@@ -89,6 +100,220 @@ def simulate_workday(
             )
         )
     return WorkdayResult(mode=mode, queries=queries)
+
+
+@dataclass(frozen=True)
+class TenantClass:
+    """One tenant's traffic shape and admission quota."""
+
+    name: str
+    #: Mean of the seeded exponential inter-arrival distribution.
+    inter_arrival_seconds: float
+    #: Scale factor applied to the base dataset size per query.
+    dataset_scale: float
+    quota: TenantQuota
+
+
+def default_tenant_classes() -> List[TenantClass]:
+    """Three GridPocket-flavoured tenant classes.
+
+    ``dashboard`` fires small queries far faster than its quota refills
+    (it *will* be shed); ``etl`` and ``adhoc`` are provisioned with
+    headroom and should sail through.
+    """
+    return [
+        TenantClass(
+            name="dashboard",
+            inter_arrival_seconds=20.0,
+            dataset_scale=0.25,
+            quota=TenantQuota(
+                name="dashboard", request_rate=1 / 40.0, request_burst=3.0
+            ),
+        ),
+        TenantClass(
+            name="etl",
+            inter_arrival_seconds=120.0,
+            dataset_scale=1.0,
+            quota=TenantQuota(
+                name="etl", request_rate=1 / 60.0, request_burst=4.0
+            ),
+        ),
+        TenantClass(
+            name="adhoc",
+            inter_arrival_seconds=300.0,
+            dataset_scale=2.0,
+            quota=TenantQuota(
+                name="adhoc", request_rate=1 / 120.0, request_burst=3.0
+            ),
+        ),
+    ]
+
+
+@dataclass
+class MultiTenantQuery:
+    """One arrival in the multi-tenant trace."""
+
+    tenant: str
+    query_name: str
+    arrival: float
+    admitted: bool
+    finish: float = 0.0
+    retry_after: float = 0.0
+
+    @property
+    def response_time(self) -> float:
+        return self.finish - self.arrival
+
+
+@dataclass
+class MultiTenantWorkdayResult:
+    """The multi-tenant workday outcome plus its quota audit."""
+
+    queries: List[MultiTenantQuery]
+    #: Sliding-window quota violations found by the exhaustive audit
+    #: (must be zero: the token bucket's contract).
+    quota_violations: int = 0
+    tenant_summary: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    @property
+    def admitted(self) -> List[MultiTenantQuery]:
+        return [q for q in self.queries if q.admitted]
+
+    @property
+    def shed_count(self) -> int:
+        return sum(1 for q in self.queries if not q.admitted)
+
+    @property
+    def shed_rate(self) -> float:
+        if not self.queries:
+            return 0.0
+        return self.shed_count / len(self.queries)
+
+    def p99_response_time(self) -> float:
+        """p99 response time over admitted queries (nearest-rank)."""
+        times = sorted(q.response_time for q in self.admitted)
+        if not times:
+            return 0.0
+        rank = max(0, int(len(times) * 0.99 + 0.5) - 1)
+        return times[min(rank, len(times) - 1)]
+
+    def mean_response_time(self) -> float:
+        admitted = self.admitted
+        if not admitted:
+            return 0.0
+        return sum(q.response_time for q in admitted) / len(admitted)
+
+
+def _audit_quota_windows(
+    arrivals: List[float], quota: TenantQuota, tolerance: float = 1e-9
+) -> int:
+    """Count sliding-window violations of ``burst + rate * T``.
+
+    Exhaustive O(n^2) over every pair of admitted arrivals ``i <= j``:
+    the token bucket guarantees at most ``burst + rate * (t_j - t_i)``
+    admissions inside the closed window ``[t_i, t_j]``.
+    """
+    violations = 0
+    times = sorted(arrivals)
+    for i in range(len(times)):
+        for j in range(i, len(times)):
+            window = times[j] - times[i]
+            allowed = quota.request_burst + quota.request_rate * window
+            if (j - i + 1) > allowed + tolerance:
+                violations += 1
+    return violations
+
+
+def simulate_multitenant_workday(
+    seed: int = 20170417,
+    horizon_seconds: float = 1800.0,
+    dataset: str = "small",
+    params: Optional[PerfParameters] = None,
+    table1: Optional[List[Table1Row]] = None,
+    tenants: Optional[Sequence[TenantClass]] = None,
+) -> MultiTenantWorkdayResult:
+    """Replay a seeded multi-tenant arrival trace through admission
+    control and the concurrent ingest simulation.
+
+    Fully deterministic: arrivals come from ``random.Random(seed)``,
+    the token buckets from a :class:`VirtualClock` stepped to each
+    arrival's timestamp, and the downstream DES is seedless.  Shed
+    arrivals are counted open-loop (the client would pace itself via
+    the ``Retry-After`` hint); admitted ones become pushdown jobs.
+    """
+    table1 = table1 or table1_selectivities()
+    tenants = list(tenants) if tenants is not None else default_tenant_classes()
+    base_bytes = DATASETS[dataset].size_bytes
+    rng = random.Random(seed)
+
+    arrivals: List[tuple] = []
+    for tenant in tenants:
+        now = rng.expovariate(1.0 / tenant.inter_arrival_seconds)
+        while now < horizon_seconds:
+            entry = rng.choice(table1)
+            arrivals.append((now, tenant, entry))
+            now += rng.expovariate(1.0 / tenant.inter_arrival_seconds)
+    arrivals.sort(key=lambda item: (item[0], item[1].name))
+
+    clock = VirtualClock()
+    controller = AdmissionController(
+        quotas=tuple(tenant.quota for tenant in tenants), clock=clock
+    )
+    queries: List[MultiTenantQuery] = []
+    specs: List[JobSpec] = []
+    admitted_arrivals: Dict[str, List[float]] = {t.name: [] for t in tenants}
+    for index, (when, tenant, entry) in enumerate(arrivals):
+        clock.set(when)
+        decision = controller.admit(tenant.name)
+        query = MultiTenantQuery(
+            tenant=tenant.name,
+            query_name=entry.name,
+            arrival=when,
+            admitted=decision.admitted,
+            retry_after=decision.retry_after,
+        )
+        queries.append(query)
+        if not decision.admitted:
+            continue
+        admitted_arrivals[tenant.name].append(when)
+        specs.append(
+            JobSpec(
+                name=f"{index:04d}-{tenant.name}-{entry.name}",
+                mode="pushdown",
+                dataset_bytes=int(base_bytes * tenant.dataset_scale),
+                profile=SelectivityProfile.mixed(
+                    entry.measured.data_selectivity
+                ),
+                start_time=when,
+            )
+        )
+
+    if specs:
+        outcome = ConcurrentIngestSimulation(params).run_concurrent(specs)
+        admitted = [q for q in queries if q.admitted]
+        for spec, query in zip(specs, admitted):
+            query.finish = outcome.job(spec.name).finish_time
+
+    violations = 0
+    tenant_summary: Dict[str, Dict[str, float]] = {}
+    ledger = controller.summary()
+    for tenant in tenants:
+        violations += _audit_quota_windows(
+            admitted_arrivals[tenant.name], tenant.quota
+        )
+        counts = ledger.get(tenant.name, {"admitted": 0, "shed": 0})
+        total = counts["admitted"] + counts["shed"]
+        tenant_summary[tenant.name] = {
+            "arrivals": total,
+            "admitted": counts["admitted"],
+            "shed": counts["shed"],
+            "shed_rate": counts["shed"] / total if total else 0.0,
+        }
+    return MultiTenantWorkdayResult(
+        queries=queries,
+        quota_violations=violations,
+        tenant_summary=tenant_summary,
+    )
 
 
 def workday_comparison(

@@ -119,8 +119,12 @@ class FaultInjector:
                     f"injected stall of {value}s on {node} exceeded the "
                     f"{deadline}s request deadline"
                 )
-            # A stall under the deadline only slows the request; record
-            # it for the perf model and continue.
+            # A stall under the deadline consumes real time: charge it
+            # against the end-to-end deadline budget (so downstream
+            # tiers see only what is left) and record it for the perf
+            # model.  The guard above keeps the stall strictly below
+            # the *remaining* deadline, so this charge cannot raise.
+            request.charge_timeout(value, tier="object-stall")
             request.environ["swift.simulated_stall"] = (
                 request.environ.get("swift.simulated_stall", 0.0) + value
             )

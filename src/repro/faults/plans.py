@@ -9,7 +9,13 @@ Each named plan stresses one leg of the resilience machinery:
   request deadline, absorbed by proxy failover plus client retry;
 * ``storlet-crash`` -- persistent sandbox failures of the pushdown
   filter, absorbed by graceful degradation to plain GETs with
-  compute-side filtering (``pushdown_fallbacks`` must rise).
+  compute-side filtering (``pushdown_fallbacks`` must rise);
+* ``overload`` -- the QoS stress mix (docs/admission.md): sub-deadline
+  stalls that eat the request's deadline budget, one persistently
+  failing storage node that trips its circuit breaker, injected 429
+  sheds the client paces itself through, and occasional sandbox CPU
+  exhaustion.  Survivable by design: breakers sit under replica
+  failover, 429 is retryable, and storlet failures degrade.
 """
 
 from __future__ import annotations
@@ -25,7 +31,13 @@ from repro.faults.plan import (
     StorletCrash,
 )
 
-NAMED_PLANS = ("none", "device-loss", "flaky-object", "storlet-crash")
+NAMED_PLANS = (
+    "none",
+    "device-loss",
+    "flaky-object",
+    "storlet-crash",
+    "overload",
+)
 
 
 def named_plan(name: str, seed: int = 20170417) -> FaultPlan:
@@ -85,6 +97,40 @@ def named_plan(name: str, seed: int = 20170417) -> FaultPlan:
                     reason="cpu-exhausted",
                     times=1,
                     probability=0.3,
+                ),
+            ),
+        )
+    if name == "overload":
+        return FaultPlan(
+            seed=seed,
+            faults=(
+                # Sub-deadline stalls: each charges the end-to-end
+                # deadline budget without (alone) exceeding it, so
+                # repeated bad luck -- not one fault -- kills a request.
+                SlowObjectServer(
+                    method="GET",
+                    stall_seconds=8.0,
+                    times=2,
+                    probability=0.5,
+                ),
+                # One storage node persistently erroring: its circuit
+                # breaker trips and failover serves from the replicas.
+                FlakyObjectServer(
+                    node="storage1",
+                    method="GET",
+                    status=503,
+                    times=None,
+                    probability=0.7,
+                ),
+                # Injected admission sheds; 429 is retryable, so the
+                # client backs off and the work still completes.
+                FlakyProxy(status=429, times=1, probability=0.2),
+                # Storlet CPU exhaustion under load: degradable.
+                StorletCrash(
+                    storlet="csvstorlet",
+                    reason="cpu-exhausted",
+                    times=1,
+                    probability=0.25,
                 ),
             ),
         )

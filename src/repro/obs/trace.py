@@ -22,8 +22,15 @@ Design constraints (shared with the chaos suite, docs/observability.md):
   stay open until the stream drains (or is abandoned) and are finalized
   from the iterator's ``finally`` block, so their byte counts reconcile
   exactly with :class:`~repro.connector.stocator.TransferMetrics`.
-* **Bounded.**  The collector keeps at most :attr:`~TraceCollector.max_spans`
-  spans; overflow is *counted* (``dropped``), never silent.
+* **Bounded, coherently.**  The collector is bounded by
+  :attr:`~TraceCollector.max_spans` via *head-based sampling*: the
+  keep/drop decision is made once per trace id, when the trace's first
+  span arrives, and applies to every later span of that trace.  An
+  exported trace is therefore always complete -- never truncated
+  mid-request -- at the price of a soft cap (a trace admitted near the
+  limit records all of its spans).  ``dropped`` counts whole dropped
+  traces (anonymous spans, which carry no trace id, count
+  individually).  Overflow is *counted*, never silent.
 
 The collector is process-global (like :mod:`logging`): tiers call
 :func:`get_collector` and record only when it is enabled, which costs a
@@ -105,9 +112,13 @@ class TraceCollector:
         self.enabled = enabled
         self.max_spans = max_spans
         self.spans: List[Span] = []
-        #: Spans discarded because ``max_spans`` was reached -- counted,
-        #: never silent (exported alongside the spans).
+        #: Whole traces (or anonymous spans) discarded because
+        #: ``max_spans`` was reached -- counted, never silent (exported
+        #: alongside the spans).
         self.dropped = 0
+        #: Head-based sampling decisions, one per trace id, made when
+        #: the trace's first span is allocated.
+        self._trace_keep: Dict[str, bool] = {}
         self._lock = threading.Lock()
         # Seeded counters: ids are deterministic, clock/RNG-free.
         self._trace_ids = itertools.count(1)
@@ -129,6 +140,7 @@ class TraceCollector:
         with self._lock:
             self.spans = []
             self.dropped = 0
+            self._trace_keep = {}
             self._trace_ids = itertools.count(1)
             self._span_ids = itertools.count(1)
 
@@ -152,6 +164,10 @@ class TraceCollector:
         stack = self._stack()
         with self._lock:
             span_id = next(self._span_ids)
+            if trace_id:
+                # Head-based sampling: decide the whole trace's fate at
+                # root-span creation (first sight of the trace id).
+                self._keep_locked(trace_id)
         span = Span(
             trace_id=trace_id,
             span_id=span_id,
@@ -326,8 +342,32 @@ class TraceCollector:
             self._stacks.stack = stack
         return stack
 
+    def _keep_locked(self, trace_id: str) -> bool:
+        """The memoized head-sampling decision for ``trace_id``.
+
+        Caller holds ``_lock``.  The first consultation decides (is
+        there room for another trace?) and bumps ``dropped`` once when
+        the answer is no; later spans of the same trace inherit the
+        decision, so kept traces are always exported complete even if
+        they overshoot ``max_spans`` (a soft cap).
+        """
+        keep = self._trace_keep.get(trace_id)
+        if keep is None:
+            keep = len(self.spans) < self.max_spans
+            self._trace_keep[trace_id] = keep
+            if not keep:
+                self.dropped += 1
+        return keep
+
     def _append(self, span: Span) -> None:
         with self._lock:
+            if span.trace_id:
+                if not self._keep_locked(span.trace_id):
+                    return
+                self.spans.append(span)
+                return
+            # Anonymous spans carry no trace id: each is its own
+            # one-span pseudo-trace, decided individually.
             if len(self.spans) >= self.max_spans:
                 self.dropped += 1
                 return

@@ -36,6 +36,7 @@ from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.obs.metrics import get_registry
 from repro.obs.trace import get_collector
+from repro.swift.exceptions import TooManyRequests
 from repro.spark.batch import DEFAULT_BATCH_ROWS, RecordBatch
 from repro.spark.rdd import (
     NarrowDependency,
@@ -335,7 +336,7 @@ class SparkContext:
             except Exception as error:
                 duration = time.perf_counter() - started
                 last_error = error
-                self._record_failure(worker)
+                self._record_failure(worker, error)
                 self._log_task(
                     TaskMetrics(
                         stage_id=stage_id,
@@ -459,7 +460,7 @@ class SparkContext:
             except Exception as error:
                 duration = time.perf_counter() - started
                 last_error = error
-                self._record_failure(worker)
+                self._record_failure(worker, error)
                 self._log_task(
                     TaskMetrics(
                         stage_id=stage_id,
@@ -509,7 +510,14 @@ class SparkContext:
             # deadlock the job.
             return next(self._worker_cycle)
 
-    def _record_failure(self, worker: str) -> None:
+    def _record_failure(
+        self, worker: str, error: Optional[BaseException] = None
+    ) -> None:
+        # An admission shed (429) means the *store* was over quota, not
+        # that this worker is unhealthy; blacklisting workers for sheds
+        # would collapse the pool exactly when the cluster is loaded.
+        if isinstance(error, TooManyRequests):
+            return
         with self._placement_lock:
             self._worker_failures[worker] = (
                 self._worker_failures.get(worker, 0) + 1

@@ -22,6 +22,7 @@ from repro.storlets.api import (
     StorletInputStream,
 )
 from repro.obs.trace import TRACE_HEADER
+from repro.qos.budget import budgeted_chunks
 from repro.storlets.sandbox import CostModel, Sandbox
 from repro.swift.http import Request, Response, chunk_bytes, parse_path
 from repro.swift.middleware import App
@@ -401,7 +402,10 @@ class StorletMiddleware:
             for key, value in last.metadata.items():
                 filtered.headers[key] = value
 
-        filtered.body = body()
+        # The filtered stream is itself budgeted: exhausting the deadline
+        # mid-pipeline cancels at the next chunk boundary, unwinding the
+        # whole storlet generator stack (docs/admission.md).
+        filtered.body = budgeted_chunks(body(), request, "storlet")
         return filtered
 
 

@@ -20,6 +20,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from repro.qos.budget import budgeted_chunks
 from repro.swift.exceptions import (
     BadRequest,
     ContainerNotEmpty,
@@ -139,7 +140,13 @@ class ObjectServer:
                 # Syntactically invalid byte-range-spec (end < start):
                 # RFC 7233 says ignore the header -> full body, 200.
                 headers["content-length"] = str(stored.size)
-                return Response(200, headers, chunk_bytes(stored.data))
+                return Response(
+                    200,
+                    headers,
+                    budgeted_chunks(
+                        chunk_bytes(stored.data), request, "object"
+                    ),
+                )
             start, end = resolved
             if start >= stored.size or start > end:
                 error = RangeNotSatisfiable(
@@ -156,10 +163,20 @@ class ObjectServer:
             # Stream the range as lazy chunk-size slices; the sub-range
             # is never materialized as one contiguous payload.
             return Response(
-                206, headers, chunk_bytes_range(stored.data, start, end + 1)
+                206,
+                headers,
+                budgeted_chunks(
+                    chunk_bytes_range(stored.data, start, end + 1),
+                    request,
+                    "object",
+                ),
             )
         headers["content-length"] = str(stored.size)
-        return Response(200, headers, chunk_bytes(stored.data))
+        return Response(
+            200,
+            headers,
+            budgeted_chunks(chunk_bytes(stored.data), request, "object"),
+        )
 
     def HEAD(self, request: Request) -> Response:
         store = self._store_for(request)

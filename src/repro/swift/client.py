@@ -17,6 +17,7 @@ from repro.swift.exceptions import (
     RequestTimeout,
     ServiceUnavailable,
     SwiftError,
+    TooManyRequests,
 )
 from repro.swift.http import HeaderDict, Request, Response, collect_body
 from repro.swift.proxy import SwiftCluster
@@ -32,6 +33,7 @@ _STATUS_EXCEPTIONS = {
     404: NotFound,
     409: Conflict,
     416: RangeNotSatisfiable,
+    429: TooManyRequests,
     503: ServiceUnavailable,
     504: RequestTimeout,
 }
@@ -66,9 +68,11 @@ class SwiftClient:
         retry_policy: Optional[RetryPolicy] = None,
         sleeper: Optional[Callable[[float], None]] = None,
         max_connections: Optional[int] = None,
+        tenant: Optional[str] = None,
     ):
         self.cluster = cluster
         self.account = account
+        self.tenant = tenant
         self.retry_policy = retry_policy or RetryPolicy()
         self._sleeper = sleeper
         self.stats = ClientStats()
@@ -95,6 +99,8 @@ class SwiftClient:
         policy = self.retry_policy
         merged = HeaderDict(headers or {})
         merged.setdefault("x-auth-token", f"token-{self.account}")
+        if self.tenant:
+            merged.setdefault("x-scoop-tenant", self.tenant)
         if policy.request_timeout is not None:
             merged.setdefault(
                 "x-request-timeout", str(policy.request_timeout)
@@ -127,11 +133,21 @@ class SwiftClient:
                         self.stats.exhausted += 1
                     registry.inc("client.exhausted")
                     return response
-                delay = policy.delay(attempt)
+                # The server knows when the shed condition clears
+                # (token-bucket refill, queue drain); its Retry-After
+                # wins over the computed backoff, clamped to the cap.
+                pacing = policy.server_pacing(
+                    response.headers.get("retry-after")
+                )
+                delay = pacing if pacing is not None else policy.delay(attempt)
                 with self._stats_lock:
                     self.stats.retries += 1
                     self.stats.backoff_seconds += delay
                     self.stats.delays.append(delay)
+                    if pacing is not None:
+                        self.stats.retry_after_honored += 1
+                if pacing is not None:
+                    registry.inc("client.retry_after_honored")
                 registry.inc("client.retries")
                 registry.inc("client.backoff_seconds", delay)
                 if self._sleeper is not None:

@@ -58,6 +58,18 @@ class RangeNotSatisfiable(SwiftError):
     status = 416
 
 
+class TooManyRequests(SwiftError):
+    """Tenant is over its admission quota (429).
+
+    Shed deterministically by the proxy's admission controller; the
+    response carries ``Retry-After`` with the token-bucket refill time
+    so a well-behaved client paces itself instead of guessing.
+    Retryable (it is in ``DEFAULT_RETRY_STATUSES``).
+    """
+
+    status = 429
+
+
 class ServiceUnavailable(SwiftError):
     """No replica could serve the request (503)."""
 
@@ -87,6 +99,7 @@ STATUS_REASONS = {
     404: "Not Found",
     409: "Conflict",
     416: "Requested Range Not Satisfiable",
+    429: "Too Many Requests",
     500: "Internal Server Error",
     503: "Service Unavailable",
     504: "Gateway Timeout",

@@ -14,11 +14,14 @@ from __future__ import annotations
 import re
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
-from repro.swift.exceptions import BadRequest, STATUS_REASONS
+from repro.swift.exceptions import BadRequest, RequestTimeout, STATUS_REASONS
 
 Body = Union[bytes, Iterable[bytes], None]
 
 DEFAULT_CHUNK_SIZE = 64 * 1024
+
+#: Header carrying the remaining deadline budget (simulated seconds).
+TIMEOUT_HEADER = "x-request-timeout"
 
 
 class HeaderDict(dict):
@@ -161,6 +164,39 @@ class Request:
     @property
     def split_path(self) -> Tuple[str, Optional[str], Optional[str]]:
         return parse_path(self.path)
+
+    def remaining_timeout(self) -> Optional[float]:
+        """Remaining deadline budget, or ``None`` for unbudgeted
+        requests (no ``X-Request-Timeout`` header)."""
+        raw = self.headers.get(TIMEOUT_HEADER)
+        if raw is None:
+            return None
+        try:
+            return float(raw)
+        except (TypeError, ValueError):
+            return None
+
+    def charge_timeout(self, seconds: float, tier: str = "unknown") -> Optional[float]:
+        """Charge ``seconds`` of simulated elapsed time against the
+        deadline budget, rewriting the header so downstream tiers see
+        only what is left (the budget is end-to-end, not per-tier).
+
+        Returns the new remaining budget (``None`` when the request
+        carries no deadline) and raises :class:`RequestTimeout` the
+        moment the budget reaches zero.
+        """
+        if seconds < 0:
+            raise ValueError(f"cannot charge negative time: {seconds!r}")
+        remaining = self.remaining_timeout()
+        if remaining is None:
+            return None
+        remaining -= seconds
+        self.headers[TIMEOUT_HEADER] = f"{remaining:.6f}"
+        if remaining <= 0:
+            raise RequestTimeout(
+                f"deadline budget exhausted at the {tier} tier"
+            )
+        return remaining
 
     def body_bytes(self) -> bytes:
         """Materialize the request body (consumes an iterator body)."""

@@ -64,6 +64,35 @@ class CatchErrors(BaseMiddleware):
             return Response(500, body=str(error).encode("utf-8"))
 
 
+class DeadlineBudget(BaseMiddleware):
+    """Charges a tier's fixed overhead against the deadline budget.
+
+    Installed on both the proxy and object pipelines when QoS is
+    configured (docs/admission.md): the middleware subtracts the tier's
+    simulated per-request overhead from the remaining
+    ``X-Request-Timeout`` *before* forwarding, so downstream tiers see
+    only the budget that is actually left.  A request whose budget dies
+    here raises :class:`~repro.swift.exceptions.RequestTimeout`, which
+    :class:`CatchErrors` turns into the usual retryable 504.
+    """
+
+    def __init__(self, app: App, tier: str, overhead_seconds: float = 0.0):
+        super().__init__(app)
+        self.tier = tier
+        self.overhead_seconds = overhead_seconds
+
+    def handle(self, request: Request) -> Response:
+        request.charge_timeout(self.overhead_seconds, self.tier)
+        return self.app(request)
+
+    @classmethod
+    def factory(cls, tier: str, overhead_seconds: float) -> MiddlewareFactory:
+        def make(app: App) -> App:
+            return cls(app, tier, overhead_seconds)
+
+        return make
+
+
 class RequestLogger(BaseMiddleware):
     """Records ``(method, path, status)`` tuples; useful in tests."""
 

@@ -18,6 +18,13 @@ from typing import Callable, Dict, List, Optional, Sequence, Set
 
 from repro.obs.metrics import get_registry
 from repro.obs.trace import TRACE_HEADER, get_collector
+from repro.qos.admission import (
+    AdmissionController,
+    AdmissionDecision,
+    CircuitBreakerBoard,
+    QosConfig,
+)
+from repro.qos.budget import STREAM_COST_ENV_KEY
 from repro.swift.backend import (
     AccountStore,
     ContainerStore,
@@ -31,7 +38,17 @@ from repro.swift.exceptions import (
     ServiceUnavailable,
 )
 from repro.swift.http import HeaderDict, Request, Response, parse_path
-from repro.swift.middleware import App, CatchErrors, MiddlewareFactory, build_pipeline
+from repro.swift.middleware import (
+    App,
+    CatchErrors,
+    DeadlineBudget,
+    MiddlewareFactory,
+    build_pipeline,
+)
+
+#: Header naming the tenant a request bills against (set by the client
+#: from ``SwiftClient(tenant=...)``); absent = the anonymous tenant.
+TENANT_HEADER = "x-scoop-tenant"
 from repro.swift.ring import Device, Ring, RingBuilder
 
 
@@ -122,11 +139,18 @@ class ProxyApp:
             return response
 
         if request.method in ("GET", "HEAD"):
+            ordered = self._replica_order(request, devices)
+            # Brownout: if the node that would run the storlet is over
+            # its CPU watermark, demote the pushdown to a plain read
+            # *before* any backend work happens.
+            demotion = cluster.brownout_demotion(request, ordered[0].node)
+            if demotion is not None:
+                return demotion
             # Mid-request replica failover: a replica that is missing,
             # erroring or stalled past its deadline does not fail the
             # read -- the next replica in ring order is tried instead.
             last_error: Optional[Response] = None
-            for device in self._replica_order(request, devices):
+            for device in ordered:
                 try:
                     response = cluster.send_to_device(device, request.copy())
                 except NotFound:
@@ -288,6 +312,8 @@ class SwiftCluster:
         proxy_middleware: Sequence[MiddlewareFactory] = (),
         object_middleware: Sequence[MiddlewareFactory] = (),
         proxy_concurrency: Optional[int] = 8,
+        qos: Optional[QosConfig] = None,
+        qos_clock: Optional[Callable[[], float]] = None,
     ):
         if storage_node_count < 1:
             raise ValueError("need at least one storage node")
@@ -330,6 +356,14 @@ class SwiftCluster:
             # determinism assertions.
             "proxy_queue_waits": 0,
             "proxy_peak_inflight": 0,
+            # QoS observability (docs/admission.md).  Quota sheds are
+            # clock-driven and queue sheds timing-dependent, so these
+            # live in ``qos_summary()``, never in the determinism-
+            # asserted ``resilience_summary()``.
+            "shed_quota": 0,
+            "shed_queue": 0,
+            "breaker_rejections": 0,
+            "brownout_demotions": 0,
         }
         # Guards the counters dict and the proxy round-robin cursor.  A
         # leaf lock in the system hierarchy (docs/concurrency.md): held
@@ -351,7 +385,18 @@ class SwiftCluster:
         self._proxy_middleware = list(proxy_middleware)
         self._proxy_count = max(1, proxy_count)
         self._auth_enabled = auth_enabled
+
+        #: QoS tier (docs/admission.md); inert unless configured.
+        self.qos: Optional[QosConfig] = None
+        self._admission_controller: Optional[AdmissionController] = None
+        self._breakers: Optional[CircuitBreakerBoard] = None
+        #: Per-node storlet CPU gauges feeding brownout decisions,
+        #: installed by :meth:`install_brownout_gauge`.
+        self._brownout_gauges: Dict[str, Callable[[], float]] = {}
+
         self._build_proxies()
+        if qos is not None:
+            self.install_qos(qos, clock=qos_clock)
 
     def _build_proxies(self) -> None:
         self.proxies: List[ProxyServer] = [
@@ -370,6 +415,7 @@ class SwiftCluster:
             for _ in self.proxies
         ]
         self._inflight: List[int] = [0 for _ in self.proxies]
+        self._queue_depth: List[int] = [0 for _ in self.proxies]
 
     # -- request entry points ------------------------------------------------
 
@@ -389,22 +435,52 @@ class SwiftCluster:
             self.counters["requests"] += 1
             index = next(self._proxy_cycle)
         registry.inc("cluster.requests")
+        qos = self.qos
+        if qos is not None and qos.stream_seconds_per_mb > 0:
+            request.environ.setdefault(
+                STREAM_COST_ENV_KEY, qos.stream_seconds_per_mb
+            )
         span = tracer.start(
             "proxy",
             f"{request.method} {request.path}",
             trace_id=request.headers.get(TRACE_HEADER, ""),
             proxy=f"proxy{index}",
         )
-        slot = self._admission[index]
-        if slot is not None and not slot.acquire(blocking=False):
-            with self._counter_lock:
-                self.counters["proxy_queue_waits"] += 1
-            registry.inc("cluster.proxy_queue_waits")
-            wait_start = time.perf_counter()
-            slot.acquire()
-            span.attributes["admission_wait"] = (
-                time.perf_counter() - wait_start
+        controller = self._admission_controller
+        if controller is not None:
+            tenant = request.headers.get(TENANT_HEADER, "") or "anonymous"
+            decision = controller.admit(
+                tenant, self._payload_estimate(request)
             )
+            if not decision.admitted:
+                self.bump_counter("shed_quota")
+                tracer.finish(
+                    span,
+                    status="shed",
+                    http_status=decision.status,
+                    tenant=decision.tenant,
+                    shed_reason=decision.reason,
+                )
+                return self._shed_response(decision.status, decision)
+        if not self._acquire_slot(index, span):
+            self.bump_counter("shed_queue")
+            tracer.finish(
+                span, status="shed", http_status=503, shed_reason="queue-full"
+            )
+            retry_after = (
+                qos.queue_retry_after if qos is not None else 1.0
+            )
+            return self._shed_response(
+                503,
+                AdmissionDecision(
+                    admitted=False,
+                    tenant=request.headers.get(TENANT_HEADER, ""),
+                    status=503,
+                    retry_after=retry_after,
+                    reason="queue-full",
+                ),
+            )
+        slot = self._admission[index]
         status = "error"
         http_status = 0
         try:
@@ -426,6 +502,63 @@ class SwiftCluster:
                 slot.release()
             tracer.finish(span, status=status, http_status=http_status)
 
+    def _acquire_slot(self, index: int, span) -> bool:
+        """Acquire an in-flight slot on proxy ``index``, queueing when
+        the proxy is saturated.  Returns ``False`` (shed) when QoS
+        bounds the queue and it is already full."""
+        slot = self._admission[index]
+        if slot is None or slot.acquire(blocking=False):
+            return True
+        depth_cap = (
+            self.qos.max_queue_depth if self.qos is not None else None
+        )
+        if depth_cap is not None:
+            with self._counter_lock:
+                if self._queue_depth[index] >= depth_cap:
+                    return False
+                self._queue_depth[index] += 1
+        with self._counter_lock:
+            self.counters["proxy_queue_waits"] += 1
+        get_registry().inc("cluster.proxy_queue_waits")
+        wait_start = time.perf_counter()
+        try:
+            slot.acquire()
+        finally:
+            if depth_cap is not None:
+                with self._counter_lock:
+                    self._queue_depth[index] -= 1
+        span.attributes["admission_wait"] = time.perf_counter() - wait_start
+        return True
+
+    @staticmethod
+    def _payload_estimate(request: Request) -> int:
+        """Bytes this request will push into the store (for byte quotas)."""
+        if isinstance(request.body, bytes):
+            return len(request.body)
+        raw = request.headers.get("content-length")
+        try:
+            return int(raw) if raw is not None else 0
+        except (TypeError, ValueError):
+            return 0
+
+    @staticmethod
+    def _shed_response(status: int, decision: AdmissionDecision) -> Response:
+        """A typed shed: 429 (over-quota) or 503 (queue-full), always
+        carrying ``Retry-After`` so clients pace instead of hammering."""
+        headers = HeaderDict(
+            {
+                "retry-after": f"{decision.retry_after:.3f}",
+                "x-shed-reason": decision.reason,
+            }
+        )
+        if decision.tenant:
+            headers[TENANT_HEADER] = decision.tenant
+        return Response(
+            status,
+            headers,
+            body=f"shed: {decision.reason}".encode("utf-8"),
+        )
+
     def bump_counter(self, name: str, amount: int = 1) -> None:
         """Atomically increment a resilience counter."""
         with self._counter_lock:
@@ -433,7 +566,15 @@ class SwiftCluster:
         get_registry().inc(f"cluster.{name}", amount)
 
     def send_to_device(self, device: Device, request: Request) -> Response:
-        """Route a replica request into the owning node's object pipeline."""
+        """Route a replica request into the owning node's object pipeline.
+
+        With QoS configured, the node's circuit breaker is consulted
+        first: an open breaker rejects without touching the backend (the
+        caller's replica failover tries the next node), and the outcome
+        of every admitted request feeds the breaker's state machine.
+        Backend-health failures are 503/504 and 5xx responses; a 404 is
+        a healthy node answering truthfully.
+        """
         tracer = get_collector()
         span = tracer.start(
             "object",
@@ -442,7 +583,14 @@ class SwiftCluster:
             node=device.node,
             device=device.id,
         )
+        breakers = self._breakers
+        consulted = breakers is None or breakers.allow(device.node)
         try:
+            if not consulted:
+                self.bump_counter("breaker_rejections")
+                raise ServiceUnavailable(
+                    f"circuit breaker open for node {device.node}"
+                )
             if device.id in self.failed_devices:
                 raise ServiceUnavailable(
                     f"device {device.id} on {device.node} has failed"
@@ -457,18 +605,151 @@ class SwiftCluster:
             request.environ["swift.execution_tier"] = "object"
             response = pipeline(request)
         except BaseException as error:
+            if breakers is not None and consulted:
+                if isinstance(error, (ServiceUnavailable, RequestTimeout)):
+                    breakers.record_failure(device.node)
+                else:
+                    # A typed 4xx (NotFound, bad range...) means the
+                    # node is alive and answering; release the probe.
+                    breakers.record_success(device.node)
             tracer.finish(
                 span,
                 status="error",
                 error=type(error).__name__,
             )
             raise
+        if breakers is not None and consulted:
+            if response.status >= 500 or response.status == 429:
+                breakers.record_failure(device.node)
+            else:
+                breakers.record_success(device.node)
         tracer.finish(
             span,
             status="ok" if response.status < 400 else "error",
             http_status=response.status,
         )
         return response
+
+    # -- QoS tier (docs/admission.md) ---------------------------------------
+
+    def install_qos(
+        self,
+        config: QosConfig,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        """Arm the QoS tier: tenant admission, bounded queues, breakers,
+        deadline-budget overheads and brownout demotion.
+
+        ``clock`` drives the token buckets (a
+        :class:`~repro.qos.admission.VirtualClock` for deterministic
+        tests/simulations; defaults to ``time.monotonic``).  Install
+        once, after control-plane setup, so bootstrap traffic does not
+        bill against tenant quotas.
+        """
+        if self.qos is not None:
+            raise RuntimeError("QoS is already installed on this cluster")
+        self.qos = config
+        if config.admission_enabled:
+            self._admission_controller = AdmissionController(
+                quotas=config.tenants,
+                default_quota=config.default_quota,
+                clock=clock,
+                retry_after_cap=config.retry_after_cap,
+            )
+        if config.breaker_failure_threshold is not None:
+            self._breakers = CircuitBreakerBoard(
+                failure_threshold=config.breaker_failure_threshold,
+                cooldown_consults=config.breaker_cooldown_consults,
+            )
+        if config.proxy_overhead_seconds > 0:
+            self.install_proxy_middleware(
+                DeadlineBudget.factory("proxy", config.proxy_overhead_seconds)
+            )
+        if config.object_overhead_seconds > 0:
+            self.install_object_middleware(
+                DeadlineBudget.factory(
+                    "object", config.object_overhead_seconds
+                )
+            )
+
+    def install_brownout_gauge(
+        self, node: str, gauge: Callable[[], float]
+    ) -> None:
+        """Register ``node``'s storlet CPU gauge (cumulative simulated
+        seconds); read by :meth:`brownout_demotion` on every pushdown GET."""
+        self._brownout_gauges[node] = gauge
+
+    def brownout_demotion(
+        self, request: Request, node: str
+    ) -> Optional[Response]:
+        """Demote a pushdown GET to a plain read when ``node`` is hot.
+
+        Returns the demotion response (the same degradable
+        ``x-storlet-failure`` 500 a crashed sandbox produces, so the
+        client's existing fallback path re-reads the bytes plain and
+        filters compute-side) or ``None`` to proceed normally.
+        """
+        qos = self.qos
+        if qos is None or qos.brownout_cpu_watermark is None:
+            return None
+        if request.method != "GET":
+            return None
+        # Header names from the storlet invocation protocol
+        # (StorletRequestHeaders); spelled out here so the storage tier
+        # does not import the storlets engine.
+        if not request.headers.get("x-run-storlet"):
+            return None
+        if request.headers.get("x-storlet-run-on", "object") != "object":
+            return None
+        if request.headers.get("x-storlet-bypass"):
+            return None
+        gauge = self._brownout_gauges.get(node)
+        if gauge is None:
+            return None
+        cpu_seconds = gauge()
+        if cpu_seconds < qos.brownout_cpu_watermark:
+            return None
+        self.bump_counter("brownout_demotions")
+        tracer = get_collector()
+        span = tracer.start(
+            "qos",
+            f"brownout {request.path}",
+            trace_id=request.headers.get(TRACE_HEADER, ""),
+            node=node,
+        )
+        tracer.finish(
+            span,
+            status="brownout",
+            cpu_seconds=cpu_seconds,
+            watermark=qos.brownout_cpu_watermark,
+        )
+        return Response(
+            500,
+            headers={
+                "x-storlet-failure": "brownout",
+                "x-storlet-failure-storlet": request.headers.get(
+                    "x-run-storlet", ""
+                ),
+            },
+            body=f"brownout: {node} over CPU watermark".encode("utf-8"),
+        )
+
+    def qos_summary(self) -> Dict[str, object]:
+        """QoS observability: shed/breaker/brownout counters and the
+        per-tenant admission ledgers.  Timing/clock-dependent -- kept
+        out of the determinism-asserted ``resilience_summary()``."""
+        with self._counter_lock:
+            summary: Dict[str, object] = {
+                "shed_quota": self.counters["shed_quota"],
+                "shed_queue": self.counters["shed_queue"],
+                "breaker_rejections": self.counters["breaker_rejections"],
+                "brownout_demotions": self.counters["brownout_demotions"],
+            }
+        if self._admission_controller is not None:
+            summary["tenants"] = self._admission_controller.summary()
+        if self._breakers is not None:
+            summary["breaker_states"] = self._breakers.states()
+        return summary
 
     # -- administration ----------------------------------------------------------
 

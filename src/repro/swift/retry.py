@@ -21,11 +21,12 @@ import random
 from dataclasses import dataclass, field
 from typing import FrozenSet, List, Optional
 
-#: Statuses worth retrying from the client: the store said "not now"
-#: (503) or a replica stalled past its deadline (504).  4xx and plain
-#: 500s are not retried -- they are deterministic failures (bad request,
-#: missing object, crashed storlet) that a retry cannot fix.
-DEFAULT_RETRY_STATUSES: FrozenSet[int] = frozenset({503, 504})
+#: Statuses worth retrying from the client: the tenant was shed by
+#: admission control (429), the store said "not now" (503) or a replica
+#: stalled past its deadline (504).  Other 4xx and plain 500s are not
+#: retried -- they are deterministic failures (bad request, missing
+#: object, crashed storlet) that a retry cannot fix.
+DEFAULT_RETRY_STATUSES: FrozenSet[int] = frozenset({429, 503, 504})
 
 
 @dataclass(frozen=True)
@@ -81,6 +82,25 @@ class RetryPolicy:
     def retryable(self, status: int) -> bool:
         return status in self.retry_statuses
 
+    def server_pacing(self, raw: Optional[str]) -> Optional[float]:
+        """Parse a server-supplied ``Retry-After`` header value.
+
+        The server knows exactly when a token bucket refills or a queue
+        drains, so its pacing beats the client's guessed backoff -- but
+        it is still clamped to ``backoff_cap`` so a hostile or buggy
+        server cannot park the client.  Returns ``None`` (fall back to
+        computed backoff) for missing or malformed values.
+        """
+        if raw is None:
+            return None
+        try:
+            seconds = float(raw)
+        except (TypeError, ValueError):
+            return None
+        if seconds < 0:
+            return None
+        return min(self.backoff_cap, seconds)
+
 
 @dataclass
 class ClientStats:
@@ -98,6 +118,9 @@ class ClientStats:
     #: wait for a slot (timing-dependent; excluded from determinism
     #: assertions).
     pool_waits: int = 0
+    #: Retries whose delay came from a server ``Retry-After`` header
+    #: instead of the computed backoff schedule.
+    retry_after_honored: int = 0
     #: Every backoff delay actually consumed, in order -- the retry
     #: schedule as taken, for ``explain_profile()``.  Deliberately not
     #: part of ``resilience_summary`` (fingerprints stay unchanged).
@@ -109,4 +132,5 @@ class ClientStats:
         self.backoff_seconds = 0.0
         self.exhausted = 0
         self.pool_waits = 0
+        self.retry_after_honored = 0
         self.delays.clear()

@@ -22,20 +22,23 @@ from repro.core import ScoopContext
 from repro.faults import named_plan
 from repro.gridpocket import DatasetSpec, METER_SCHEMA, upload_dataset
 from repro.gridpocket.queries import GRIDPOCKET_QUERIES
+from repro.qos.admission import QosConfig
 from repro.swift.retry import RetryPolicy
 
 CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "20170417"))
 CHAOS_SPEC = DatasetSpec(meters=12, intervals=64, objects=3)
-FAULT_PLANS = ("device-loss", "flaky-object", "storlet-crash")
+FAULT_PLANS = ("device-loss", "flaky-object", "storlet-crash", "overload")
 
 
-def run_workload(fault_plan=None, seed=CHAOS_SEED):
+def run_workload(fault_plan=None, seed=CHAOS_SEED, parallelism=None, qos=None):
     """Upload the dataset and run all Table-I queries; returns the
     context and per-query results."""
     ctx = ScoopContext(
         chunk_size=48 * 1024,
         retry_policy=RetryPolicy(seed=seed),
         fault_plan=named_plan(fault_plan, seed=seed) if fault_plan else None,
+        parallelism=parallelism,
+        qos=qos,
     )
     upload_dataset(ctx.client, "meters", CHAOS_SPEC)
     ctx.register_csv_table("largeMeter", "meters", schema=METER_SCHEMA)
@@ -97,6 +100,57 @@ class TestChaosCorrectness:
     def test_device_loss_plan_loses_devices(self):
         ctx, _results = run_workload(fault_plan="device-loss")
         assert ctx.cluster.failed_devices
+
+
+class TestOverloadByteIdentity:
+    """The ``overload`` plan (docs/admission.md) must stay on the
+    byte-identity contract with the QoS tier armed."""
+
+    #: Breakers + deadline budgets, no tenant quotas: the data-plane
+    #: QoS features that may reroute or cancel requests mid-flight.
+    QOS = QosConfig(
+        breaker_failure_threshold=3,
+        breaker_cooldown_consults=4,
+        proxy_overhead_seconds=0.001,
+        object_overhead_seconds=0.001,
+        stream_seconds_per_mb=0.01,
+    )
+
+    def test_results_identical_at_parallelism_1_vs_8_under_qos(self):
+        """Query results are byte-identical at parallelism 1 vs 8 with
+        circuit breakers and deadline budgets armed.  (Breaker state
+        advances per consultation across threads, so *which* requests
+        it rejects is interleaving-dependent -- but replica failover
+        guarantees every rejection is absorbed and the rows match.)"""
+        serial_ctx, serial = run_workload(
+            "overload", parallelism=1, qos=self.QOS
+        )
+        parallel_ctx, parallel = run_workload(
+            "overload", parallelism=8, qos=self.QOS
+        )
+        assert serial  # not vacuous
+        assert parallel == serial
+        assert serial_ctx.fault_plan.fired() > 0
+        assert parallel_ctx.fault_plan.fired() > 0
+        # The shed/reject counters exist but live outside the
+        # determinism contract (qos_summary, not resilience_summary).
+        assert "breaker_rejections" in serial_ctx.qos_summary()
+
+    def test_fingerprint_identical_at_parallelism_1_vs_8(self):
+        """Without breakers rerouting requests, the overload plan's
+        fired-fault fingerprint is parallelism-independent, like every
+        other named plan (per-scope consult counts)."""
+        serial_ctx, serial = run_workload("overload", parallelism=1)
+        parallel_ctx, parallel = run_workload("overload", parallelism=8)
+        assert parallel == serial
+        assert (
+            parallel_ctx.fault_plan.fingerprint()
+            == serial_ctx.fault_plan.fingerprint()
+        )
+        assert (
+            parallel_ctx.resilience_summary()
+            == serial_ctx.resilience_summary()
+        )
 
 
 class TestChaosDeterminism:

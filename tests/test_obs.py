@@ -84,6 +84,43 @@ class TestTraceCollector:
         assert collector.dropped == 3
         assert collector.export_json()["dropped"] == 3
 
+    def test_head_sampling_keeps_whole_traces(self):
+        """The keep/drop decision is made once per trace id at root-span
+        creation: a trace admitted under the cap keeps *all* its spans
+        (even overshooting max_spans -- a soft cap), so exported traces
+        are always complete."""
+        collector = TraceCollector(enabled=True, max_spans=2)
+        kept = collector.new_trace_id()
+        for _ in range(3):
+            collector.finish(collector.start("a", "op", trace_id=kept))
+        dropped = collector.new_trace_id()
+        for _ in range(3):
+            collector.finish(collector.start("a", "op", trace_id=dropped))
+        spans = collector.snapshot()
+        assert len(spans) == 3
+        assert {span.trace_id for span in spans} == {kept}
+        # ``dropped`` counts whole traces, not spans.
+        assert collector.dropped == 1
+
+    def test_head_sampling_decision_is_sticky(self):
+        """A trace keeps accepting spans after the cap fills, and a
+        dropped trace stays dropped even after spans are recorded."""
+        collector = TraceCollector(enabled=True, max_spans=1)
+        kept = collector.new_trace_id()
+        root = collector.start("a", "root", trace_id=kept)
+        late = collector.new_trace_id()
+        # ``late`` arrives while the cap still has room: also kept.
+        collector.finish(collector.start("a", "op", trace_id=late))
+        collector.finish(root)
+        # Both traces were admitted before the cap filled; new ones die.
+        doomed = collector.new_trace_id()
+        collector.finish(collector.start("a", "op", trace_id=doomed))
+        collector.finish(collector.start("a", "op", trace_id=kept))
+        collector.finish(collector.start("a", "op", trace_id=doomed))
+        spans = collector.snapshot()
+        assert {span.trace_id for span in spans} == {kept, late}
+        assert collector.dropped == 1
+
     def test_byte_totals_aggregate_per_tier(self):
         collector = TraceCollector(enabled=True)
         for bytes_out in (10, 20):
