@@ -1,0 +1,105 @@
+"""Sync shims over the async core: loop-per-thread bridging.
+
+The sync API stays the default and is "a thin driver over the async
+core" (docs/async.md): every OS thread that needs to run a coroutine
+gets one persistent private event loop, created on first use and kept
+for the thread's lifetime.  Loop-per-*thread* (not loop-per-call) keeps
+the cost of entering the async core at one ``run_until_complete`` per
+pump, and loop-per-thread (not one global loop) lets the existing
+thread-based callers -- tests hammering one context from many threads,
+the threaded scheduler mode -- each drive their own work without
+cross-thread loop handoffs.
+
+Teardown: loops are registered globally and closed at interpreter exit,
+which keeps ``PYTHONDEVMODE=1`` quiet about unclosed event loops while
+letting threads die without ceremony.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import atexit
+import threading
+from typing import AsyncIterator, Awaitable, Coroutine, Iterator, List, TypeVar
+
+T = TypeVar("T")
+
+_thread_state = threading.local()
+_all_loops: List[asyncio.AbstractEventLoop] = []
+_all_loops_lock = threading.Lock()
+
+
+def thread_loop() -> asyncio.AbstractEventLoop:
+    """This thread's private event loop, created on first use."""
+    loop = getattr(_thread_state, "loop", None)
+    if loop is None or loop.is_closed():
+        loop = asyncio.new_event_loop()
+        _thread_state.loop = loop
+        with _all_loops_lock:
+            _all_loops.append(loop)
+    return loop
+
+
+def run_sync(awaitable: Awaitable[T]) -> T:
+    """Run a coroutine to completion on this thread's loop.
+
+    The sync-shim entry point: must be called from sync context (never
+    from inside a running loop -- that would be a re-entrant pump and is
+    rejected loudly).
+    """
+    try:
+        asyncio.get_running_loop()
+    except RuntimeError:
+        pass
+    else:
+        raise RuntimeError(
+            "run_sync() called from inside a running event loop; "
+            "await the coroutine instead"
+        )
+    coroutine: Coroutine = (
+        awaitable  # type: ignore[assignment]
+        if asyncio.iscoroutine(awaitable)
+        else _wrap(awaitable)
+    )
+    return thread_loop().run_until_complete(coroutine)
+
+
+async def _wrap(awaitable: Awaitable[T]) -> T:
+    """Adapt a non-coroutine awaitable for ``run_until_complete``."""
+    return await awaitable
+
+
+def drive(agen: AsyncIterator[T]) -> Iterator[T]:
+    """Pump an async generator from sync code, item by item.
+
+    Each ``next()`` resumes the generator on this thread's loop; any
+    other coroutines scheduled on the loop (prefetching producers)
+    progress during the pump.  Closing the returned generator -- a
+    consumer breaking out of its ``for`` loop, a satisfied LIMIT --
+    closes the async generator on the loop, which is the cancellation
+    path that unwinds producer tasks and releases pool slots
+    deterministically (docs/async.md).
+    """
+    loop = thread_loop()
+    try:
+        while True:
+            try:
+                item = loop.run_until_complete(agen.__anext__())
+            except StopAsyncIteration:
+                return
+            yield item
+    finally:
+        loop.run_until_complete(agen.aclose())
+
+
+def _close_all_loops() -> None:
+    """Interpreter-exit teardown: close every loop ever handed out."""
+    with _all_loops_lock:
+        loops = list(_all_loops)
+        _all_loops.clear()
+    for loop in loops:
+        if not loop.is_closed():
+            loop.close()
+
+
+atexit.register(_close_all_loops)

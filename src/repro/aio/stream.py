@@ -1,0 +1,105 @@
+"""Async twins of the streaming record/chunk helpers.
+
+The quote-aware record framing (`RFC 4180` quoting with state carried
+across chunk refills) is single-sourced in
+``repro.storlets.csv_storlet._find_record_end``; :func:`aowned_lines`
+reuses it verbatim over an *async* chunk iterator, so the async scan
+path frames byte-identical records to the sync one by construction.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import AsyncIterator, Optional
+
+from repro.storlets.csv_storlet import _find_record_end
+
+
+async def aowned_lines(
+    chunks: AsyncIterator[bytes],
+    range_start: int,
+    range_len: Optional[int],
+) -> AsyncIterator[bytes]:
+    """Async twin of ``repro.storlets.csv_storlet._owned_lines``.
+
+    Identical ownership semantics (Hadoop LineRecordReader rules: a
+    non-zero ``range_start`` discards its first line, a range owns the
+    record starting exactly at its end boundary) and identical
+    quote-aware framing -- only the chunk source is awaited.  The
+    caller is responsible for closing ``chunks`` if this generator is
+    abandoned early; closing *this* generator does that automatically
+    via the ``finally`` below.
+    """
+    buffer = b""
+    offset = 0  # stream offset of buffer[0]
+    skipping_first = range_start > 0
+    exhausted = False
+    scan_pos = 0
+    in_quotes = False
+
+    try:
+        while True:
+            newline, scan_pos, in_quotes = _find_record_end(
+                buffer, scan_pos, in_quotes
+            )
+            while newline < 0 and not exhausted:
+                try:
+                    chunk = await chunks.__anext__()
+                except StopAsyncIteration:
+                    exhausted = True
+                    break
+                if not chunk:
+                    continue
+                buffer += chunk
+                newline, scan_pos, in_quotes = _find_record_end(
+                    buffer, scan_pos, in_quotes
+                )
+
+            if newline < 0:
+                if buffer and not skipping_first:
+                    if range_len is None or offset <= range_len:
+                        yield buffer
+                return
+
+            line, buffer = buffer[:newline], buffer[newline + 1 :]
+            line_start = offset
+            offset = line_start + newline + 1
+            scan_pos = 0
+            in_quotes = False
+
+            if skipping_first:
+                skipping_first = False
+                continue
+            if range_len is not None and line_start > range_len:
+                return
+            yield line.rstrip(b"\r")
+    finally:
+        aclose = getattr(chunks, "aclose", None)
+        if aclose is not None:
+            await aclose()
+
+
+async def adecompress_chunks(
+    chunks: AsyncIterator[bytes],
+) -> AsyncIterator[bytes]:
+    """Streaming zlib inflate over an async chunk iterator.
+
+    The async twin of the connector-side decompression used when a
+    pushdown response travelled with ``compress_transfer``; memory stays
+    O(chunk) exactly as in the sync path.
+    """
+    inflater = zlib.decompressobj()
+    try:
+        async for chunk in chunks:
+            if not chunk:
+                continue
+            plain = inflater.decompress(chunk)
+            if plain:
+                yield plain
+        tail = inflater.flush()
+        if tail:
+            yield tail
+    finally:
+        aclose = getattr(chunks, "aclose", None)
+        if aclose is not None:
+            await aclose()

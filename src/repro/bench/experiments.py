@@ -43,6 +43,7 @@ from repro.experiments.gridpocket_runs import (
     fig7_total_batch_seconds,
     table1_selectivities,
 )
+from repro.experiments.frontend import replay_workday_frontend
 from repro.experiments.workday import (
     simulate_multitenant_workday,
     simulate_workday,
@@ -658,13 +659,19 @@ def _run_workday(bench: "BenchContext") -> None:
     # Multi-tenant leg (docs/admission.md): a seeded arrival trace from
     # three tenant classes runs behind token-bucket admission control.
     # The p99 SLO, the shed-rate band, and the zero-violation quota
-    # audit are the recorded acceptance criteria.
-    horizon = 600.0 if bench.quick else 1800.0
+    # audit are the recorded acceptance criteria.  ``--arrivals`` (or
+    # ``workday_arrivals`` in the options dict) scales the trace; the
+    # defaults exercise tens of thousands of arrivals in full mode and
+    # cap quick mode for CI.
+    arrivals = int(
+        bench.options.get("workday_arrivals")
+        or (2000 if bench.quick else 20000)
+    )
     p99_slo = 30.0
     shed_bound = 0.5
-    with bench.point(f"multi-tenant workday ({horizon:.0f} s horizon)"):
+    with bench.point(f"multi-tenant workday ({arrivals} arrivals)"):
         mt = simulate_multitenant_workday(
-            horizon_seconds=horizon, dataset="small", table1=table1
+            dataset="small", table1=table1, arrivals=arrivals
         )
     bench.add_table(
         "Multi-tenant workday -- admission control per tenant class",
@@ -686,6 +693,8 @@ def _run_workday(bench: "BenchContext") -> None:
             "mean_response_seconds": mt.mean_response_time(),
             "p99_slo_seconds": p99_slo,
             "quota_violations": mt.quota_violations,
+            "audit_exhaustive": mt.audit_exhaustive,
+            "audit_pairs": mt.audit_pairs,
             "tenants": mt.tenant_summary,
         },
     )
@@ -706,7 +715,84 @@ def _run_workday(bench: "BenchContext") -> None:
         "zero sliding-window quota violations",
         mt.quota_violations == 0,
         f"{mt.quota_violations} violations across "
-        f"{len(mt.tenant_summary)} tenants",
+        f"{len(mt.tenant_summary)} tenants "
+        f"({'exhaustive' if mt.audit_exhaustive else 'windowed'} audit, "
+        f"{mt.audit_pairs} pairs)",
+    )
+
+    # Front-end concurrency sweep (docs/async.md): the same burst of
+    # queries drains through the threaded front end at its pool cap and
+    # through the event-loop core at the cap and at 10x, measuring the
+    # in-flight capacity one process sustains and the latency the rest
+    # of the burst pays.  Every response is byte-verified.
+    base_limit = 32 if bench.quick else 100
+    sweep = []
+    for mode, limit in (
+        ("threads", base_limit),
+        ("async", base_limit),
+        ("async", base_limit * 10),
+    ):
+        with bench.point(f"frontend burst ({mode}, {limit} in flight)"):
+            sweep.append(
+                replay_workday_frontend(
+                    mode, queries=arrivals, inflight_limit=limit
+                )
+            )
+    threaded, async_parity, async_10x = sweep
+    bench.add_table(
+        f"Front-end concurrency sweep -- {arrivals} queries, "
+        "threaded pool vs event loop",
+        ["front end", "in-flight limit", "peak in-flight", "p50 (s)",
+         "p99 (s)", "drain (s)"],
+        [
+            [f"{r.mode}@{r.inflight_limit}", r.inflight_limit,
+             r.peak_inflight, round(r.p50_seconds, 3),
+             round(r.p99_seconds, 3), round(r.wall_seconds, 2)]
+            for r in sweep
+        ],
+    )
+    bench.set_result(
+        "frontend",
+        {
+            "queries": arrivals,
+            "points": [
+                {
+                    "mode": r.mode,
+                    "inflight_limit": r.inflight_limit,
+                    "dispatched": r.dispatched,
+                    "completed": r.completed,
+                    "byte_errors": r.byte_errors,
+                    "peak_inflight": r.peak_inflight,
+                    "p50_seconds": r.p50_seconds,
+                    "p99_seconds": r.p99_seconds,
+                    "wall_seconds": r.wall_seconds,
+                }
+                for r in sweep
+            ],
+        },
+    )
+    bench.set_headline(
+        "frontend_async_peak_inflight", async_10x.peak_inflight
+    )
+    bench.set_headline(
+        "frontend_async_p99_seconds", async_10x.p99_seconds
+    )
+    bench.check(
+        "async front end sustains 10x the threaded in-flight capacity",
+        async_10x.peak_inflight >= 10 * threaded.peak_inflight,
+        f"{async_10x.peak_inflight} vs {threaded.peak_inflight} in flight",
+    )
+    bench.check(
+        "async p99 at 10x concurrency stays within the threaded baseline",
+        0.0 < async_10x.p99_seconds <= threaded.p99_seconds,
+        f"{async_10x.p99_seconds:.3f} s vs {threaded.p99_seconds:.3f} s "
+        f"(parity point {async_parity.p99_seconds:.3f} s)",
+    )
+    bench.check(
+        "every front-end response byte-identical",
+        sum(r.byte_errors for r in sweep) == 0
+        and all(r.completed == r.dispatched for r in sweep),
+        f"{sum(r.completed for r in sweep)} responses verified",
     )
 
 

@@ -59,12 +59,17 @@ class BenchContext:
         tracer: TraceCollector,
         registry: MetricsRegistry,
         quick: bool,
+        options: Optional[Dict[str, Any]] = None,
     ):
         """Bind the context to one experiment run's collectors."""
         self.experiment_name = experiment_name
         self.tracer = tracer
         self.registry = registry
         self.quick = quick
+        #: Free-form per-run knobs (e.g. ``workday_arrivals`` from the
+        #: CLI's ``--arrivals``); experiments read what they understand
+        #: and ignore the rest.
+        self.options: Dict[str, Any] = dict(options or {})
         self.trace_id = tracer.new_trace_id()
         self.tables: List[Dict[str, Any]] = []
         self.results: Dict[str, Any] = {}
@@ -132,6 +137,7 @@ def run_experiment(
     name: str,
     quick: bool = False,
     out_dir: Union[str, Path, None] = None,
+    options: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Run one named experiment; return its validated result document.
 
@@ -154,7 +160,7 @@ def run_experiment(
     registry.declare_histogram(SIM_SECONDS, SIMULATED_SECONDS_BUCKETS)
     wall_start = time.perf_counter()
     try:
-        bench = BenchContext(name, tracer, registry, quick)
+        bench = BenchContext(name, tracer, registry, quick, options=options)
         with tracer.span(
             "bench", f"experiment {name}", trace_id=bench.trace_id,
             mode="quick" if quick else "full",
@@ -207,6 +213,7 @@ def run_suite(
     quick: bool = False,
     out_dir: Union[str, Path, None] = None,
     progress: Optional[Any] = None,
+    options: Optional[Dict[str, Any]] = None,
 ) -> List[Dict[str, Any]]:
     """Run several experiments in registry order; return their documents.
 
@@ -221,7 +228,9 @@ def run_suite(
         raise KeyError(f"unknown experiments {unknown} (known: {known})")
     documents = []
     for name in sorted(set(selected), key=order.__getitem__):
-        document = run_experiment(name, quick=quick, out_dir=out_dir)
+        document = run_experiment(
+            name, quick=quick, out_dir=out_dir, options=options
+        )
         if progress is not None:
             progress(name, document)
         documents.append(document)

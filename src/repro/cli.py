@@ -147,6 +147,16 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: results)",
     )
     bench_run.add_argument(
+        "--arrivals",
+        type=int,
+        default=None,
+        help=(
+            "workday experiment: total query arrivals to simulate "
+            "(default: 20000 full / 2000 quick); other experiments "
+            "ignore it"
+        ),
+    )
+    bench_run.add_argument(
         "--baseline",
         type=pathlib.Path,
         default=None,
@@ -217,6 +227,16 @@ def _add_resilience_options(parser: argparse.ArgumentParser) -> None:
         help=(
             "concurrent partition tasks per stage (default: 1, today's "
             "serial behavior); results are identical at any setting"
+        ),
+    )
+    parser.add_argument(
+        "--async",
+        dest="async_mode",
+        action="store_true",
+        help=(
+            "multiplex partition tasks as coroutines on one event loop "
+            "instead of threads (also: REPRO_ASYNC=1); results are "
+            "identical in either mode"
         ),
     )
     group = parser.add_argument_group("resilience")
@@ -318,6 +338,9 @@ def _resilience_context(args, **context_kwargs):
         qos=qos,
         tenant=tenant,
         sleeper=sleeper,
+        # --async forces the event-loop mode; without it the REPRO_ASYNC
+        # env default still applies (async_mode=None).
+        async_mode=True if getattr(args, "async_mode", False) else None,
         **context_kwargs,
     )
 
@@ -402,10 +425,17 @@ def _bench(args) -> int:
             f"{document['trace']['spans']} spans, {wall:.2f}s"
         )
 
+    options = {}
+    if args.arrivals is not None:
+        options["workday_arrivals"] = args.arrivals
     print(f"running {len(names)} experiment(s) ({mode}) -> {args.out_dir}")
     try:
         documents = run_suite(
-            names, quick=args.quick, out_dir=args.out_dir, progress=progress
+            names,
+            quick=args.quick,
+            out_dir=args.out_dir,
+            progress=progress,
+            options=options,
         )
     except KeyError as error:
         print(f"error: {error.args[0]}", file=sys.stderr)

@@ -30,7 +30,8 @@ from repro.obs.metrics import MetricsRegistry, set_registry
 from repro.obs.trace import TraceCollector, set_collector
 from repro.spark.csv_source import CsvRelation
 from repro.spark.dataframe import DataFrame
-from repro.spark.scheduler import SparkContext
+from repro.spark.scheduler import SparkContext, default_execution_mode
+from repro.swift.aclient import AsyncSwiftClient
 from repro.spark.session import SparkSession
 from repro.sql.types import Schema
 from repro.storlets.agg_storlet import AggregatingStorlet
@@ -87,6 +88,7 @@ class ScoopContext:
         qos_clock=None,
         tenant: Optional[str] = None,
         sleeper: Optional[Callable[[float], None]] = None,
+        async_mode: Optional[bool] = None,
     ):
         # Scheduler pool size: how many partition tasks run at once.
         # Defaults to the REPRO_PARALLELISM env var (CI runs the whole
@@ -94,6 +96,12 @@ class ScoopContext:
         if parallelism is None:
             parallelism = int(os.environ.get("REPRO_PARALLELISM", "1"))
         self.parallelism = parallelism
+        # Execution mode: ``async_mode=None`` defers to the REPRO_ASYNC
+        # env var (the CI async job runs the whole suite on the event
+        # loop); True/False force it.
+        if async_mode is None:
+            async_mode = default_execution_mode() == "async"
+        self.execution_mode = "async" if async_mode else "threads"
         # Observability: each context installs a fresh span collector
         # and metrics registry so counters and traces never bleed
         # between stacks built in the same process (every tier resolves
@@ -129,11 +137,29 @@ class ScoopContext:
         # Pin the connector's mirror target so this context's boundary
         # counters survive a later context replacing the global registry.
         self.connector.metrics.registry = self.registry
+        self.async_client: Optional[AsyncSwiftClient] = None
+        if self.execution_mode == "async":
+            # Coroutine twin of the sync client, sharing one accounting
+            # ledger (requests/retries/pool_waits land in the same
+            # ClientStats) and the same pool bound per event loop.
+            self.async_client = AsyncSwiftClient(
+                self.cluster,
+                account,
+                retry_policy=retry_policy,
+                max_connections=max(4, parallelism * 2),
+                tenant=tenant,
+                sleeper=sleeper,
+                stats=self.client.stats,
+                stats_lock=self.client._stats_lock,
+                ensure_account=False,
+            )
+            self.connector.bind_async_client(self.async_client)
         self.spark_context = SparkContext(
             "scoop",
             num_workers=num_workers,
             max_task_attempts=max_task_attempts,
             parallelism=parallelism,
+            execution_mode=self.execution_mode,
         )
         self.session = SparkSession(self.spark_context)
         self.controller = controller
@@ -374,7 +400,7 @@ class ScoopContext:
             summary["faults_injected"] = self.fault_plan.fired()
         return summary
 
-    def concurrency_summary(self) -> Dict[str, float]:
+    def concurrency_summary(self) -> Dict[str, object]:
         """Contention counters for the concurrent data path.
 
         Kept separate from :meth:`resilience_summary` on purpose: these
@@ -384,6 +410,7 @@ class ScoopContext:
         """
         return {
             "parallelism": self.parallelism,
+            "execution_mode": self.execution_mode,
             "client_pool_waits": self.client.stats.pool_waits,
             "proxy_queue_waits": self.cluster.counters["proxy_queue_waits"],
             "proxy_peak_inflight": self.cluster.counters[

@@ -11,10 +11,12 @@ happens in the compute cluster (classic ingest-then-compute).
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Sequence
+from contextlib import aclosing
+from typing import AsyncIterator, Callable, Iterator, List, Optional, Sequence
 
 import zlib
 
+from repro.aio.stream import adecompress_chunks, aowned_lines
 from repro.connector.stocator import (
     ObjectSplit,
     PushdownError,
@@ -95,6 +97,119 @@ class CsvScanRDD(RDD[Row]):
                 continue
             yield row
 
+    async def acompute(self, split_index: int) -> AsyncIterator[Row]:
+        """Coroutine twin of :meth:`compute`.
+
+        Same degradation contract, same resume arithmetic (rows emitted
+        before a mid-stream failure are skipped, not duplicated), same
+        metrics and trace events -- the per-line logic is single-sourced
+        with the sync path (:meth:`_parse_pushdown_line`,
+        :meth:`_plain_line_mapper`), which is what makes the two modes
+        byte-identical by construction.  When no async client is bound
+        the sync path runs inline on the loop.
+        """
+        if self.connector.async_client is None:
+            for row in self.compute(split_index):
+                yield row
+            return
+        split = self.splits[split_index]
+        if self.task is None or self.task.is_noop():
+            async with aclosing(self._aplain_rows(split)) as rows:
+                async for row in rows:
+                    yield row
+            return
+        emitted = 0
+        try:
+            async with aclosing(self._apushdown_rows(split)) as rows:
+                async for row in rows:
+                    emitted += 1
+                    yield row
+            return
+        except PushdownError as error:
+            if not error.degradable:
+                raise
+            degrade_reason = error.reason
+        self.connector.metrics.record_fallback()
+        get_collector().record_event(
+            "connector",
+            "pushdown_degraded",
+            split_index=split.index,
+            reason=degrade_reason,
+            rows_before_failure=emitted,
+        )
+        skipped = 0
+        async with aclosing(
+            self._aplain_rows(split, apply_task_filters=True)
+        ) as rows:
+            async for row in rows:
+                if skipped < emitted:
+                    skipped += 1
+                    continue
+                yield row
+
+    def _parse_pushdown_line(self, raw_line: bytes) -> Optional[Row]:
+        """Type one storlet-produced record (output schema; ``None``
+        drops it under ``drop_malformed``).  Shared by both scan modes."""
+        fields = _parse_record(raw_line, self.delimiter)
+        if fields is None or len(fields) != len(self.output_schema):
+            if self.drop_malformed:
+                return None
+            raise ValueError(f"malformed CSV record: {raw_line[:120]!r}")
+        try:
+            return self.output_schema.parse_row(fields)
+        except (ValueError, TypeError):
+            if self.drop_malformed:
+                return None
+            raise
+
+    def _plain_line_mapper(
+        self, split: ObjectSplit, apply_task_filters: bool
+    ) -> Callable[[bytes], Optional[Row]]:
+        """Build the stateful line->row mapper for plain reads.
+
+        Captures header-skip state, the optional compute-side task
+        predicate and the projection once per split; returns ``None``
+        for skipped lines.  Shared by both scan modes so the
+        degradation resume arithmetic sees identical row streams.
+        """
+        skip_header = self.has_header and split.is_first
+        predicate = None
+        if apply_task_filters and self.task is not None and self.task.filters:
+            predicate = conjunction_predicate(
+                self.task.filters, self.full_schema
+            )
+        if len(self.output_schema) != len(self.full_schema):
+            projection = [
+                self.full_schema.index_of(name)
+                for name in self.output_schema.names
+            ]
+        else:
+            projection = None
+
+        def map_line(raw_line: bytes) -> Optional[Row]:
+            nonlocal skip_header
+            if skip_header:
+                skip_header = False
+                return None
+            fields = _parse_record(raw_line, self.delimiter)
+            if fields is None or len(fields) != len(self.full_schema):
+                if self.drop_malformed:
+                    return None
+                raise ValueError(f"malformed CSV record: {raw_line[:120]!r}")
+            try:
+                row = self.full_schema.parse_row(fields)
+            except (ValueError, TypeError):
+                if self.drop_malformed:
+                    return None
+                raise
+            if predicate is not None and not predicate(row):
+                return None
+            if projection is not None:
+                row = tuple(row[index] for index in projection)
+            return row
+
+        return map_line
+
     def _pushdown_rows(self, split: ObjectSplit) -> Iterator[Row]:
         """Stream a split through the pushdown storlet, chunk by chunk.
 
@@ -108,17 +223,23 @@ class CsvScanRDD(RDD[Row]):
             chunks = _decompress_chunks(chunks)
         lines = _owned_lines(StorletInputStream(chunks), 0, None)
         for raw_line in lines:
-            fields = _parse_record(raw_line, self.delimiter)
-            if fields is None or len(fields) != len(self.output_schema):
-                if self.drop_malformed:
-                    continue
-                raise ValueError(f"malformed CSV record: {raw_line[:120]!r}")
-            try:
-                yield self.output_schema.parse_row(fields)
-            except (ValueError, TypeError):
-                if self.drop_malformed:
-                    continue
-                raise
+            row = self._parse_pushdown_line(raw_line)
+            if row is not None:
+                yield row
+
+    async def _apushdown_rows(self, split: ObjectSplit) -> AsyncIterator[Row]:
+        """Coroutine twin of :meth:`_pushdown_rows`."""
+        assert self.task is not None
+        _headers, chunks = await self.connector.aopen_split_stream(
+            split, self.task
+        )
+        if self.task.compress:
+            chunks = adecompress_chunks(chunks)
+        async with aclosing(aowned_lines(chunks, 0, None)) as lines:
+            async for raw_line in lines:
+                row = self._parse_pushdown_line(raw_line)
+                if row is not None:
+                    yield row
 
     def _plain_rows(
         self, split: ObjectSplit, apply_task_filters: bool = False
@@ -135,40 +256,24 @@ class CsvScanRDD(RDD[Row]):
         pushdown stream exactly (required for mid-stream resume); the
         executor's re-applied filters are idempotent over it.
         """
-        lines = self.connector.read_split_records(split)
-        skip_header = self.has_header and split.is_first
-        predicate = None
-        if apply_task_filters and self.task is not None and self.task.filters:
-            predicate = conjunction_predicate(
-                self.task.filters, self.full_schema
-            )
-        if len(self.output_schema) != len(self.full_schema):
-            projection = [
-                self.full_schema.index_of(name)
-                for name in self.output_schema.names
-            ]
-        else:
-            projection = None
-        for raw_line in lines:
-            if skip_header:
-                skip_header = False
-                continue
-            fields = _parse_record(raw_line, self.delimiter)
-            if fields is None or len(fields) != len(self.full_schema):
-                if self.drop_malformed:
-                    continue
-                raise ValueError(f"malformed CSV record: {raw_line[:120]!r}")
-            try:
-                row = self.full_schema.parse_row(fields)
-            except (ValueError, TypeError):
-                if self.drop_malformed:
-                    continue
-                raise
-            if predicate is not None and not predicate(row):
-                continue
-            if projection is not None:
-                row = tuple(row[index] for index in projection)
-            yield row
+        map_line = self._plain_line_mapper(split, apply_task_filters)
+        for raw_line in self.connector.read_split_records(split):
+            row = map_line(raw_line)
+            if row is not None:
+                yield row
+
+    async def _aplain_rows(
+        self, split: ObjectSplit, apply_task_filters: bool = False
+    ) -> AsyncIterator[Row]:
+        """Coroutine twin of :meth:`_plain_rows`."""
+        map_line = self._plain_line_mapper(split, apply_task_filters)
+        async with aclosing(
+            self.connector.aread_split_records(split)
+        ) as lines:
+            async for raw_line in lines:
+                row = map_line(raw_line)
+                if row is not None:
+                    yield row
 
 
 def _decompress_chunks(chunks: Iterator[bytes]) -> Iterator[bytes]:

@@ -45,9 +45,18 @@ class StorletRequestHeaders:
 
     @staticmethod
     def parameters_from(headers) -> Dict[str, str]:
+        """Extract storlet parameters from header names.
+
+        Header names fold underscores to dashes on the wire
+        (:class:`~repro.swift.http.HeaderDict` normalizes both), so
+        parameter names are restored to their canonical underscore
+        spelling here.  Parameter names must therefore use underscores,
+        never dashes -- ``has_header`` round-trips, a hypothetical
+        ``has-header`` would be read back as ``has_header``.
+        """
         prefix = StorletRequestHeaders.PARAMETER_PREFIX
         return {
-            key[len(prefix) :]: value
+            key[len(prefix) :].replace("-", "_"): value
             for key, value in headers.items()
             if key.startswith(prefix)
         }

@@ -19,7 +19,13 @@ from repro.swift.exceptions import (
     SwiftError,
     TooManyRequests,
 )
-from repro.swift.http import HeaderDict, Request, Response, collect_body
+from repro.swift.http import (
+    HeaderDict,
+    Request,
+    Response,
+    close_body,
+    collect_body,
+)
 from repro.swift.proxy import SwiftCluster
 from repro.swift.retry import ClientStats, RetryPolicy
 
@@ -39,6 +45,42 @@ _STATUS_EXCEPTIONS = {
 }
 
 
+class _PooledBody:
+    """A streaming response body pinning one connection-pool slot.
+
+    The slot is released exactly when the stream is exhausted or
+    closed -- not when the last chunk happens to be garbage collected --
+    so LIMIT early-exit under high concurrency returns slots promptly
+    and deterministically.  ``close()`` is idempotent; ``__del__`` is a
+    backstop for bodies that were never iterated at all (a bare
+    generator's ``finally`` would not run in that case, which is why
+    this is a wrapper object rather than a generator).
+    """
+
+    def __init__(self, chunks, release: Callable[[], None]):
+        self._chunks = chunks
+        self._release: Optional[Callable[[], None]] = release
+
+    def __iter__(self):
+        try:
+            for chunk in self._chunks:
+                yield chunk
+        finally:
+            self.close()
+
+    def close(self) -> None:
+        """Close the underlying stream and free the pool slot (once)."""
+        release, self._release = self._release, None
+        if release is not None:
+            try:
+                close_body(self._chunks)
+            finally:
+                release()
+
+    def __del__(self):  # pragma: no cover - GC backstop only
+        self.close()
+
+
 class SwiftClient:
     """Convenience wrapper issuing requests for one account.
 
@@ -56,9 +98,11 @@ class SwiftClient:
     The client is thread-safe: concurrent tasks share one instance.
     ``max_connections`` models a bounded HTTP connection pool -- at most
     that many requests are dispatched to the cluster at once, the rest
-    wait for a slot (``stats.pool_waits`` counts them).  The slot covers
-    the synchronous dispatch only; streamed response bodies are consumed
-    after release, so abandoned streams cannot leak connections.
+    wait for a slot (``stats.pool_waits`` counts them).  A slot is held
+    until the response is done with it: materialized bodies release on
+    return, streamed bodies exactly when the stream is exhausted or
+    closed (:class:`_PooledBody`), with a GC backstop for streams that
+    are never touched at all.
     """
 
     def __init__(
@@ -133,6 +177,10 @@ class SwiftClient:
                         self.stats.exhausted += 1
                     registry.inc("client.exhausted")
                     return response
+                # A retryable response is about to be abandoned; if it
+                # carried a streamed body, free its pool slot before the
+                # next attempt competes for one.
+                close_body(response.body)
                 # The server knows when the shed condition clears
                 # (token-bucket refill, queue drain); its Retry-After
                 # wins over the computed backoff, clamped to the cap.
@@ -164,7 +212,14 @@ class SwiftClient:
             )
 
     def _dispatch(self, request: Request) -> Response:
-        """Send one attempt through the bounded connection pool."""
+        """Send one attempt through the bounded connection pool.
+
+        The slot covers the whole exchange: for materialized bodies it
+        is released as soon as the handle phase returns, while a
+        streamed body keeps its slot until the stream is exhausted or
+        closed (see :class:`_PooledBody`) -- exactly how a pooled HTTP
+        connection stays busy until its response is drained.
+        """
         if self._pool is None:
             return self.cluster.handle_request(request)
         if not self._pool.acquire(blocking=False):
@@ -173,9 +228,15 @@ class SwiftClient:
             get_registry().inc("client.pool_waits")
             self._pool.acquire()
         try:
-            return self.cluster.handle_request(request)
-        finally:
+            response = self.cluster.handle_request(request)
+        except BaseException:
             self._pool.release()
+            raise
+        if response.body is None or isinstance(response.body, (bytes, str)):
+            self._pool.release()
+            return response
+        response.body = _PooledBody(response.body, self._pool.release)
+        return response
 
     def _checked(self, response: Response, allowed=(200, 201, 202, 204, 206)):
         if response.status not in allowed:

@@ -37,6 +37,7 @@ from repro.swift.exceptions import (
     RequestTimeout,
     ServiceUnavailable,
 )
+from repro.aio.gate import AsyncGate, LoopLocal
 from repro.swift.http import HeaderDict, Request, Response, parse_path
 from repro.swift.middleware import (
     App,
@@ -44,6 +45,7 @@ from repro.swift.middleware import (
     DeadlineBudget,
     MiddlewareFactory,
     build_pipeline,
+    invoke_app_async,
 )
 
 #: Header naming the tenant a request bills against (set by the client
@@ -60,12 +62,20 @@ class AuthMiddleware:
         self.enabled = enabled
 
     def __call__(self, request: Request) -> Response:
+        self._check(request)
+        return self.app(request)
+
+    async def ahandle(self, request: Request) -> Response:
+        """Async entry: same token check, inner app awaited."""
+        self._check(request)
+        return await invoke_app_async(self.app, request)
+
+    def _check(self, request: Request) -> None:
         if self.enabled:
             account, _container, _obj = parse_path(request.path)
             token = request.headers.get("x-auth-token")
             if token != f"token-{account}":
                 raise AuthError(f"bad token for account {account!r}")
-        return self.app(request)
 
 
 class ProxyApp:
@@ -291,6 +301,18 @@ class ProxyServer:
         request.environ.setdefault("swift.execution_tier", "proxy")
         return self.pipeline(request)
 
+    async def handle_async(self, request: Request) -> Response:
+        """Coroutine entry into the same pipeline instance.
+
+        Async-aware middlewares (``CatchErrors``, auth, deadline
+        budgets) are awaited natively; everything below the first
+        middleware without an ``ahandle`` runs inline, which is sound
+        because the simulated tiers never block (docs/async.md).
+        """
+        request.environ["swift.proxy"] = self.name
+        request.environ.setdefault("swift.execution_tier", "proxy")
+        return await invoke_app_async(self.pipeline, request)
+
 
 class SwiftCluster:
     """The assembled object store.
@@ -414,6 +436,22 @@ class SwiftCluster:
             threading.Semaphore(limit) if limit is not None else None
             for _ in self.proxies
         ]
+        # The coroutine path gets its own admission gates, one set per
+        # event loop (loops never share waiter futures); the in-flight
+        # and peak counters below stay shared with the threaded path so
+        # observability sees one cluster, however requests arrive.
+        proxy_count = len(self.proxies)
+
+        def make_gates() -> List[Optional[AsyncGate]]:
+            cap = self.proxy_concurrency
+            return [
+                AsyncGate(cap) if cap is not None else None
+                for _ in range(proxy_count)
+            ]
+
+        self._async_admission: LoopLocal[List[Optional[AsyncGate]]] = (
+            LoopLocal(make_gates)
+        )
         self._inflight: List[int] = [0 for _ in self.proxies]
         self._queue_depth: List[int] = [0 for _ in self.proxies]
 
@@ -429,6 +467,69 @@ class SwiftCluster:
         bodies stream lazily *after* release, so an abandoned stream
         (e.g. a satisfied LIMIT) can never leak a slot.
         """
+        index, span, shed = self._begin_request(request)
+        if shed is not None:
+            return shed
+        if not self._acquire_slot(index, span):
+            return self._queue_shed(request, span)
+        slot = self._admission[index]
+        status = "error"
+        http_status = 0
+        try:
+            self._enter_inflight(index)
+            response = self.proxies[index].handle(request)
+            http_status = response.status
+            status = "ok" if response.status < 400 else "error"
+            return response
+        finally:
+            with self._counter_lock:
+                self._inflight[index] -= 1
+            if slot is not None:
+                slot.release()
+            get_collector().finish(
+                span, status=status, http_status=http_status
+            )
+
+    async def handle_request_async(self, request: Request) -> Response:
+        """Coroutine twin of :meth:`handle_request`.
+
+        Identical semantics -- same counters, span shape, quota
+        admission and queue-shed behaviour -- but saturation suspends
+        the calling coroutine on this loop's :class:`AsyncGate` instead
+        of blocking an OS thread, so thousands of requests multiplex
+        over one loop.  Gates are per event loop (the
+        ``proxy_concurrency`` cap bounds each loop); the in-flight and
+        peak counters are shared with the threaded path.
+        """
+        index, span, shed = self._begin_request(request)
+        if shed is not None:
+            return shed
+        admitted, gate = await self._acquire_slot_async(index, span)
+        if not admitted:
+            return self._queue_shed(request, span)
+        status = "error"
+        http_status = 0
+        try:
+            self._enter_inflight(index)
+            response = await self.proxies[index].handle_async(request)
+            http_status = response.status
+            status = "ok" if response.status < 400 else "error"
+            return response
+        finally:
+            with self._counter_lock:
+                self._inflight[index] -= 1
+            if gate is not None:
+                gate.release()
+            get_collector().finish(
+                span, status=status, http_status=http_status
+            )
+
+    def _begin_request(self, request: Request):
+        """Shared front half of both entry points: request counters,
+        round-robin proxy choice, stream-cost environ, the proxy span
+        and QoS quota admission.  Returns ``(index, span, shed)`` where
+        a non-``None`` shed response means the request was rejected
+        before competing for a proxy slot."""
         registry = get_registry()
         tracer = get_collector()
         with self._counter_lock:
@@ -461,46 +562,41 @@ class SwiftCluster:
                     tenant=decision.tenant,
                     shed_reason=decision.reason,
                 )
-                return self._shed_response(decision.status, decision)
-        if not self._acquire_slot(index, span):
-            self.bump_counter("shed_queue")
-            tracer.finish(
-                span, status="shed", http_status=503, shed_reason="queue-full"
-            )
-            retry_after = (
-                qos.queue_retry_after if qos is not None else 1.0
-            )
-            return self._shed_response(
-                503,
-                AdmissionDecision(
-                    admitted=False,
-                    tenant=request.headers.get(TENANT_HEADER, ""),
-                    status=503,
-                    retry_after=retry_after,
-                    reason="queue-full",
-                ),
-            )
-        slot = self._admission[index]
-        status = "error"
-        http_status = 0
-        try:
-            with self._counter_lock:
-                self._inflight[index] += 1
-                if self._inflight[index] > self.counters["proxy_peak_inflight"]:
-                    self.counters["proxy_peak_inflight"] = self._inflight[index]
-                    registry.set_gauge(
-                        "cluster.proxy_peak_inflight", self._inflight[index]
-                    )
-            response = self.proxies[index].handle(request)
-            http_status = response.status
-            status = "ok" if response.status < 400 else "error"
-            return response
-        finally:
-            with self._counter_lock:
-                self._inflight[index] -= 1
-            if slot is not None:
-                slot.release()
-            tracer.finish(span, status=status, http_status=http_status)
+                return index, span, self._shed_response(
+                    decision.status, decision
+                )
+        return index, span, None
+
+    def _queue_shed(self, request: Request, span) -> Response:
+        """Typed 503 for a bounded queue that is already full."""
+        self.bump_counter("shed_queue")
+        get_collector().finish(
+            span, status="shed", http_status=503, shed_reason="queue-full"
+        )
+        retry_after = (
+            self.qos.queue_retry_after if self.qos is not None else 1.0
+        )
+        return self._shed_response(
+            503,
+            AdmissionDecision(
+                admitted=False,
+                tenant=request.headers.get(TENANT_HEADER, ""),
+                status=503,
+                retry_after=retry_after,
+                reason="queue-full",
+            ),
+        )
+
+    def _enter_inflight(self, index: int) -> None:
+        """Record one more in-flight request on proxy ``index``,
+        updating the cluster-wide peak."""
+        with self._counter_lock:
+            self._inflight[index] += 1
+            if self._inflight[index] > self.counters["proxy_peak_inflight"]:
+                self.counters["proxy_peak_inflight"] = self._inflight[index]
+                get_registry().set_gauge(
+                    "cluster.proxy_peak_inflight", self._inflight[index]
+                )
 
     def _acquire_slot(self, index: int, span) -> bool:
         """Acquire an in-flight slot on proxy ``index``, queueing when
@@ -529,6 +625,36 @@ class SwiftCluster:
                     self._queue_depth[index] -= 1
         span.attributes["admission_wait"] = time.perf_counter() - wait_start
         return True
+
+    async def _acquire_slot_async(self, index: int, span):
+        """Coroutine twin of :meth:`_acquire_slot` over this loop's
+        per-proxy :class:`AsyncGate`.  Returns ``(admitted, gate)``;
+        the queue-depth cap and wait counters are shared with the
+        threaded path."""
+        gates = self._async_admission.get()
+        gate = gates[index]
+        if gate is None or gate.try_acquire():
+            return True, gate
+        depth_cap = (
+            self.qos.max_queue_depth if self.qos is not None else None
+        )
+        if depth_cap is not None:
+            with self._counter_lock:
+                if self._queue_depth[index] >= depth_cap:
+                    return False, None
+                self._queue_depth[index] += 1
+        with self._counter_lock:
+            self.counters["proxy_queue_waits"] += 1
+        get_registry().inc("cluster.proxy_queue_waits")
+        wait_start = time.perf_counter()
+        try:
+            await gate.acquire()
+        finally:
+            if depth_cap is not None:
+                with self._counter_lock:
+                    self._queue_depth[index] -= 1
+        span.attributes["admission_wait"] = time.perf_counter() - wait_start
+        return True, gate
 
     @staticmethod
     def _payload_estimate(request: Request) -> int:

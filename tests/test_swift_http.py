@@ -35,6 +35,41 @@ class TestHeaderDict:
         headers = HeaderDict(x_auth_token="t")
         assert headers["x-auth-token"] == "t"
 
+    def test_items_and_kwargs_normalize_to_the_same_slot(self):
+        # Regression: the items path and the kwargs path must fold
+        # underscores identically -- one logical header, one slot,
+        # last write wins.
+        headers = HeaderDict(items={"x_foo": "a"}, x_foo="b")
+        assert len(headers) == 1
+        assert headers["x-foo"] == "b"
+        assert headers["X_FOO"] == "b"
+
+    def test_underscore_lookup_matches_dash_insert(self):
+        headers = HeaderDict({"x-storlet-run": "1"})
+        assert headers["x_storlet_run"] == "1"
+        assert "X_Storlet_Run" in headers
+        headers.update({"x_storlet_run": "2"})
+        assert len(headers) == 1
+        assert headers["x-storlet-run"] == "2"
+
+    def test_setdefault_and_pop_fold_underscores(self):
+        headers = HeaderDict()
+        headers.setdefault("x_a", "1")
+        assert headers.setdefault("x-a", "2") == "1"
+        assert headers.pop("X_A") == "1"
+        assert not headers
+
+    def test_storlet_parameter_names_round_trip(self):
+        # Underscore parameter names survive the wire's dash folding:
+        # set_parameters writes them as headers, parameters_from
+        # restores the canonical underscore spelling.
+        from repro.storlets.engine import StorletRequestHeaders
+
+        headers = HeaderDict()
+        parameters = {"has_header": "true", "max_rows": "10"}
+        StorletRequestHeaders.set_parameters(headers, parameters)
+        assert StorletRequestHeaders.parameters_from(headers) == parameters
+
     def test_update_and_copy_are_independent(self):
         original = HeaderDict({"a": "1"})
         clone = original.copy()
