@@ -1,0 +1,164 @@
+"""Same-machine A/B comparison of two bench result directories.
+
+``repro bench --ab A/ B/`` compares the *ungated* wall-clock
+``bench.point_seconds`` histograms between two runs of the suite.
+Point timings are deliberately excluded from the drift gate (they
+depend on the machine of the day), so this is the tool that turns
+"the kernels should be faster" into a measured delta: run the suite
+once on each side of a change, then diff the percentiles.
+
+The comparison is descriptive, not a gate -- it never fails.  A and B
+must come from the same machine and the same mode for the deltas to
+mean anything; the report header records both documents' modes so an
+accidental quick-vs-full comparison is visible.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from repro.bench.reportgen import load_results
+
+#: The percentile columns of the comparison, in report order.
+PERCENTILE_KEYS = ("p50", "p95", "p99")
+
+_SERIES_PREFIX = "bench.point_seconds"
+
+
+def _point_seconds(document: Dict[str, Any]) -> Dict[str, Any]:
+    """The experiment's ``bench.point_seconds`` series stats (merged
+    across label sets, though each document records exactly one)."""
+    histograms = document.get("metrics", {}).get("histograms", {})
+    for series, stats in histograms.items():
+        if series.split("{")[0] == _SERIES_PREFIX:
+            return stats
+    return {}
+
+
+def _delta(a: float, b: float) -> float:
+    """Relative change from A to B (negative = B is faster)."""
+    return (b - a) / a if a else 0.0
+
+
+def compare_point_seconds(
+    dir_a: Union[str, Path], dir_b: Union[str, Path]
+) -> Dict[str, Any]:
+    """Build the A/B comparison document for two result directories.
+
+    Experiments present in only one directory are listed under
+    ``unpaired`` rather than silently dropped.  Raises
+    :class:`FileNotFoundError` when either directory holds no results.
+    """
+    results_a = load_results(dir_a)
+    results_b = load_results(dir_b)
+    shared = [name for name in results_a if name in results_b]
+    rows: List[Dict[str, Any]] = []
+    for name in shared:
+        stats_a = _point_seconds(results_a[name])
+        stats_b = _point_seconds(results_b[name])
+        if not stats_a or not stats_b:
+            continue
+        row: Dict[str, Any] = {
+            "experiment": name,
+            "points_a": stats_a.get("count", 0),
+            "points_b": stats_b.get("count", 0),
+            "mean_a": stats_a.get("mean", 0.0),
+            "mean_b": stats_b.get("mean", 0.0),
+            "mean_delta": _delta(
+                stats_a.get("mean", 0.0), stats_b.get("mean", 0.0)
+            ),
+        }
+        for key in PERCENTILE_KEYS:
+            value_a = stats_a.get(key)
+            value_b = stats_b.get(key)
+            row[f"{key}_a"] = value_a
+            row[f"{key}_b"] = value_b
+            row[f"{key}_delta"] = (
+                _delta(value_a, value_b)
+                if value_a is not None and value_b is not None
+                else None
+            )
+        rows.append(row)
+    return {
+        "a": str(dir_a),
+        "b": str(dir_b),
+        "mode_a": sorted({d["mode"] for d in results_a.values()}),
+        "mode_b": sorted({d["mode"] for d in results_b.values()}),
+        "experiments": rows,
+        "unpaired": sorted(
+            set(results_a).symmetric_difference(results_b)
+        ),
+    }
+
+
+def _format_seconds(value: Any) -> str:
+    return "-" if value is None else f"{value:.3f}"
+
+
+def _format_delta(value: Any) -> str:
+    return "-" if value is None else f"{value * 100:+.1f}%"
+
+
+def render_ab_markdown(comparison: Dict[str, Any]) -> str:
+    """Render the comparison as a small standalone markdown report."""
+    lines = [
+        "# A/B: bench.point_seconds",
+        "",
+        f"- A: `{comparison['a']}` (mode: "
+        f"{', '.join(comparison['mode_a'])})",
+        f"- B: `{comparison['b']}` (mode: "
+        f"{', '.join(comparison['mode_b'])})",
+        "",
+        "Wall-clock seconds per simulation point; negative delta means "
+        "B is faster.  Ungated: this report never fails a build.",
+        "",
+        "| experiment | points | p50 A | p50 B | Δp50 | p95 A | p95 B "
+        "| Δp95 | p99 A | p99 B | Δp99 | mean A | mean B | Δmean |",
+        "|---|---|---|---|---|---|---|---|---|---|---|---|---|",
+    ]
+    for row in comparison["experiments"]:
+        cells = [row["experiment"], f"{row['points_a']}/{row['points_b']}"]
+        for key in PERCENTILE_KEYS:
+            cells.extend(
+                [
+                    _format_seconds(row[f"{key}_a"]),
+                    _format_seconds(row[f"{key}_b"]),
+                    _format_delta(row[f"{key}_delta"]),
+                ]
+            )
+        cells.extend(
+            [
+                _format_seconds(row["mean_a"]),
+                _format_seconds(row["mean_b"]),
+                _format_delta(row["mean_delta"]),
+            ]
+        )
+        lines.append("| " + " | ".join(cells) + " |")
+    if comparison["unpaired"]:
+        lines += [
+            "",
+            "Unpaired (present on one side only): "
+            + ", ".join(comparison["unpaired"]),
+        ]
+    return "\n".join(lines) + "\n"
+
+
+def write_ab_report(
+    dir_a: Union[str, Path],
+    dir_b: Union[str, Path],
+    out_dir: Union[str, Path],
+) -> Dict[str, Any]:
+    """Compare two result directories and write ``AB_point_seconds.json``
+    and ``AB_point_seconds.md`` into ``out_dir``; returns the document."""
+    comparison = compare_point_seconds(dir_a, dir_b)
+    out_path = Path(out_dir)
+    out_path.mkdir(parents=True, exist_ok=True)
+    (out_path / "AB_point_seconds.json").write_text(
+        json.dumps(comparison, indent=2, sort_keys=True) + "\n"
+    )
+    (out_path / "AB_point_seconds.md").write_text(
+        render_ab_markdown(comparison)
+    )
+    return comparison

@@ -1,0 +1,50 @@
+"""Columnar object layout and batch containers (the RCF1 mini-Parquet).
+
+This package is the storage-format half of the columnar fast path: a
+binary per-column object layout with typed encodings and a footer of
+segment offsets plus min/max statistics (:mod:`repro.columnar.layout`),
+the :class:`~repro.columnar.batch.ColumnBatch` container that flows
+through the streaming data plane, and stripe-level predicate pruning
+over footer statistics (:mod:`repro.columnar.pruning`).  The compute
+half -- compile-once batch kernels -- lives in :mod:`repro.sql.kernels`.
+"""
+
+from repro.columnar.batch import ColumnBatch
+from repro.columnar.layout import (
+    MAGIC,
+    BlockStreamDecoder,
+    ColumnarFooter,
+    SegmentMeta,
+    StripeMeta,
+    decode_block_stream,
+    decode_footer,
+    decode_segment,
+    decode_stripe,
+    encode_block,
+    encode_columnar,
+    encode_segment,
+    encode_stream,
+    footer_from_tail,
+    iter_stripe_batches,
+)
+from repro.columnar.pruning import stripe_may_match
+
+__all__ = [
+    "MAGIC",
+    "BlockStreamDecoder",
+    "ColumnBatch",
+    "ColumnarFooter",
+    "SegmentMeta",
+    "StripeMeta",
+    "decode_block_stream",
+    "decode_footer",
+    "decode_segment",
+    "decode_stripe",
+    "encode_block",
+    "encode_columnar",
+    "encode_segment",
+    "encode_stream",
+    "footer_from_tail",
+    "iter_stripe_batches",
+    "stripe_may_match",
+]

@@ -1,0 +1,121 @@
+"""Column-oriented record batches for the vectorized fast path.
+
+A :class:`ColumnBatch` holds the same rows as a
+:class:`repro.spark.batch.RecordBatch` but transposed: one Python list
+per column.  Batch kernels (:mod:`repro.sql.kernels`) run over these
+vectors with fused list comprehensions instead of per-row closure
+chains.
+
+The scheduler treats batches as opaque -- it only ever touches
+``batch.rows`` and ``len(batch)`` (and only rebuilds a ``RecordBatch``
+when a retry slices a partially-emitted batch).  ``ColumnBatch``
+therefore exposes a lazily materialized ``rows`` tuple so it can flow
+through ``iter_batches`` unchanged, staying columnar until rows are
+needed at the edge.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+from repro.sql.types import Schema
+
+
+class ColumnBatch:
+    """A bounded, column-major slice of rows.
+
+    ``columns[i]`` is the vector for ``schema.fields[i]``; all vectors
+    share one length.  Instances are treated as immutable by every
+    consumer (vectors are never mutated in place after construction).
+    """
+
+    __slots__ = ("schema", "columns", "_row_count", "_rows")
+
+    def __init__(
+        self,
+        schema: Schema,
+        columns: Sequence[Sequence[Any]],
+        row_count: Optional[int] = None,
+    ):
+        if len(columns) != len(schema):
+            raise ValueError(
+                f"{len(columns)} columns do not match schema of {len(schema)}"
+            )
+        self.schema = schema
+        self.columns: List[Sequence[Any]] = list(columns)
+        if row_count is None:
+            row_count = len(columns[0]) if columns else 0
+        self._row_count = row_count
+        self._rows: Optional[Tuple[tuple, ...]] = None
+
+    @classmethod
+    def from_rows(cls, schema: Schema, rows: Sequence[tuple]) -> "ColumnBatch":
+        """Transpose a row-major slice into a column batch."""
+        if not rows:
+            return cls(schema, [[] for _ in schema.fields], 0)
+        columns = [list(values) for values in zip(*rows)]
+        batch = cls(schema, columns, len(rows))
+        if isinstance(rows, tuple) and all(isinstance(r, tuple) for r in rows):
+            batch._rows = rows  # reuse the caller's materialization
+        return batch
+
+    @property
+    def rows(self) -> Tuple[tuple, ...]:
+        """Row-major view, materialized on first access and cached."""
+        if self._rows is None:
+            if self.columns and self._row_count:
+                self._rows = tuple(zip(*self.columns))
+            else:
+                self._rows = tuple(() for _ in range(self._row_count))
+        return self._rows
+
+    def __len__(self) -> int:
+        return self._row_count
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.rows)
+
+    def column(self, index: int) -> Sequence[Any]:
+        """The vector for one column position."""
+        return self.columns[index]
+
+    def select(self, names: Sequence[str]) -> "ColumnBatch":
+        """Project to the named columns (vectors shared, not copied)."""
+        indices = [self.schema.index_of(name) for name in names]
+        return ColumnBatch(
+            self.schema.select(names),
+            [self.columns[i] for i in indices],
+            self._row_count,
+        )
+
+    def take(self, indices: Sequence[int]) -> "ColumnBatch":
+        """Gather the rows at the given positions, in order."""
+        return ColumnBatch(
+            self.schema,
+            [[column[i] for i in indices] for column in self.columns],
+            len(indices),
+        )
+
+    def slice(self, start: int, stop: Optional[int] = None) -> "ColumnBatch":
+        """A contiguous sub-batch ``[start:stop]``."""
+        if stop is None:
+            stop = self._row_count
+        start = max(0, min(start, self._row_count))
+        stop = max(start, min(stop, self._row_count))
+        return ColumnBatch(
+            self.schema,
+            [column[start:stop] for column in self.columns],
+            stop - start,
+        )
+
+
+def as_column_batch(batch: Any, schema: Schema) -> ColumnBatch:
+    """Coerce a scheduler batch (Record- or ColumnBatch) to columnar.
+
+    Retries in the scheduler may slice a ``ColumnBatch`` back into a
+    ``RecordBatch``; the executor fast path re-transposes those so the
+    kernel pipeline sees a uniform columnar stream.
+    """
+    if isinstance(batch, ColumnBatch):
+        return batch
+    return ColumnBatch.from_rows(schema, batch.rows)

@@ -14,11 +14,14 @@ from typing import (
     Iterator,
     List,
     Optional,
+    Sequence,
     Tuple,
 )
 
 from repro.aio.stream import aowned_lines
+from repro.columnar.layout import ColumnarFooter, StripeMeta, footer_from_tail
 from repro.core.pushdown import PushdownTask
+from repro.sql.types import Schema
 from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.obs.trace import TRACE_HEADER, Span, get_collector
 from repro.storlets.api import StorletFailure, StorletInputStream
@@ -98,6 +101,24 @@ class ObjectSplit:
     @property
     def is_last(self) -> bool:
         return self.start + self.length >= self.object_size
+
+
+@dataclass(frozen=True)
+class ColumnarSplit:
+    """A group of whole RCF1 stripes of one object, plus their metadata.
+
+    Columnar partitioning is stripe-aligned rather than byte-aligned:
+    the footer tells discovery where every stripe (and every column
+    segment inside it) lives, so a split never bisects a record and a
+    reader can fetch exactly the segments a query references.  The
+    embedded :class:`ObjectSplit` covers the byte extent of the grouped
+    stripes, which keeps the ranged-GET, tracing and metering machinery
+    identical to the row path.
+    """
+
+    split: ObjectSplit
+    schema: Schema
+    stripes: Tuple[StripeMeta, ...]
 
 
 @dataclass
@@ -217,17 +238,31 @@ class StocatorConnector:
         #: ``(container, name, reason)`` for every object discovery
         #: declined to split (zero-length / missing content-length).
         self.skipped_objects: List[Tuple[str, str, str]] = []
+        #: ``(container, name, reason)`` for every object quote-aware
+        #: planning demoted to a single split (no silent caps: demotions
+        #: are counted here and in ``connector.splits_demoted``).
+        self.demoted_objects: List[Tuple[str, str, str]] = []
 
     # -- partition discovery ---------------------------------------------
 
     def discover_partitions(
-        self, container: str, prefix: str = ""
+        self, container: str, prefix: str = "", record_aligned: bool = False
     ) -> List[ObjectSplit]:
         """Split every matching object into chunk-size byte ranges.
 
         Mirrors Hadoop RDD partition discovery: total size divided by the
         chunk size, one task per split.  Happens before any query is
         known (paper Section V-B).
+
+        With ``record_aligned`` (the CSV relation's default) each
+        object's boundaries are checked against its quoting: a boundary
+        that would land inside a quoted field slides forward to the next
+        record start (see :mod:`repro.connector.split_planner`), and an
+        object whose quoting never closes is demoted to a single split
+        -- counted in :attr:`demoted_objects` and the
+        ``connector.splits_demoted{reason=...}`` registry counter, and
+        logged.  Boundaries of unquoted data are byte-identical to the
+        plain chunk arithmetic.
 
         Objects that yield no split -- zero-length objects, or HEAD
         responses missing ``content-length`` entirely -- are *counted and
@@ -258,15 +293,264 @@ class StocatorConnector:
                 )
                 continue
             size = int(raw_size)
-            start = 0
-            while start < size:
-                length = min(self.chunk_size, size - start)
+            starts = list(range(0, size, self.chunk_size))
+            if record_aligned and size > self.chunk_size:
+                starts = self._aligned_starts(container, name, size)
+            for position, start in enumerate(starts):
+                end = starts[position + 1] if position + 1 < len(starts) else size
                 splits.append(
-                    ObjectSplit(container, name, start, length, size, index)
+                    ObjectSplit(
+                        container, name, start, end - start, size, index
+                    )
                 )
                 index += 1
-                start += length
         return splits
+
+    def _aligned_starts(
+        self, container: str, name: str, size: int
+    ) -> List[int]:
+        """Quote-safe split starts for one CSV object (control plane).
+
+        The planning read goes straight through the client -- like
+        schema inference, it is discovery work, not query traffic, so it
+        is neither metered nor traced.
+        """
+        from repro.connector.split_planner import plan_quote_safe_starts
+
+        _headers, data = self.client.get_object(container, name)
+        starts = plan_quote_safe_starts(data, self.chunk_size)
+        if starts is None:
+            reason = "unterminated-quote"
+            registry = self.metrics.registry or get_registry()
+            self.demoted_objects.append((container, name, reason))
+            registry.inc("connector.splits_demoted", reason=reason)
+            logger.warning(
+                "discover_partitions demoting /%s/%s to a single split: %s",
+                container,
+                name,
+                reason,
+            )
+            return [0]
+        return starts
+
+    # -- columnar discovery ------------------------------------------------
+
+    #: First tail read when fetching an RCF1 footer; a second, exactly
+    #: sized read follows only when the footer is longer than this.
+    FOOTER_PROBE_BYTES = 8 * 1024
+
+    def read_columnar_footer(
+        self, container: str, name: str, object_size: Optional[int] = None
+    ) -> ColumnarFooter:
+        """Fetch and decode an RCF1 object's footer via tail ranged GETs.
+
+        Control-plane traffic, like schema inference: at most two small
+        ranged reads (probe, then exact) that are neither metered nor
+        traced -- the data plane never touches the footer.
+        """
+        if object_size is None:
+            object_size = int(
+                self.client.head_object(container, name).get(
+                    "content-length", "0"
+                )
+            )
+        probe = min(object_size, self.FOOTER_PROBE_BYTES)
+        _headers, tail = self.client.get_object(
+            container, name, byte_range=(object_size - probe, object_size - 1)
+        )
+        footer, needed = footer_from_tail(tail, object_size)
+        if footer is None:
+            needed = min(needed, object_size)
+            _headers, tail = self.client.get_object(
+                container,
+                name,
+                byte_range=(object_size - needed, object_size - 1),
+            )
+            footer, _needed = footer_from_tail(tail, object_size)
+        if footer is None:
+            raise ValueError(
+                f"/{container}/{name}: footer longer than the object"
+            )
+        return footer
+
+    def discover_columnar_partitions(
+        self, container: str, prefix: str = ""
+    ) -> List[ColumnarSplit]:
+        """Stripe-aligned partition discovery over RCF1 footers.
+
+        Consecutive stripes are grouped until a group's byte extent
+        reaches :attr:`chunk_size`, one task per group -- the columnar
+        twin of :meth:`discover_partitions`, with the same skip
+        accounting for empty objects.  Record alignment is free here:
+        stripes never bisect a record by construction.
+        """
+        registry = self.metrics.registry or get_registry()
+        splits: List[ColumnarSplit] = []
+        index = 0
+        for name in self.client.list_objects(container, prefix=prefix):
+            headers = self.client.head_object(container, name)
+            raw_size = headers.get("content-length")
+            if raw_size is None:
+                reason = "missing-content-length"
+            elif int(raw_size) == 0:
+                reason = "zero-length"
+            else:
+                reason = ""
+            if reason:
+                self.skipped_objects.append((container, name, reason))
+                registry.inc("connector.objects_skipped", reason=reason)
+                logger.warning(
+                    "discover_columnar_partitions skipping /%s/%s: %s",
+                    container,
+                    name,
+                    reason,
+                )
+                continue
+            size = int(raw_size)
+            footer = self.read_columnar_footer(container, name, size)
+            group: List[StripeMeta] = []
+            for stripe in footer.stripes:
+                group.append(stripe)
+                if stripe.end - group[0].start < self.chunk_size:
+                    continue
+                splits.append(
+                    self._columnar_split(
+                        container, name, size, footer.schema, group, index
+                    )
+                )
+                index += 1
+                group = []
+            if group:
+                splits.append(
+                    self._columnar_split(
+                        container, name, size, footer.schema, group, index
+                    )
+                )
+                index += 1
+        return splits
+
+    @staticmethod
+    def _columnar_split(
+        container: str,
+        name: str,
+        size: int,
+        schema: Schema,
+        group: List[StripeMeta],
+        index: int,
+    ) -> ColumnarSplit:
+        start = group[0].start
+        length = group[-1].end - start
+        return ColumnarSplit(
+            split=ObjectSplit(container, name, start, length, size, index),
+            schema=schema,
+            stripes=tuple(group),
+        )
+
+    # -- segment-granular reads --------------------------------------------
+
+    def read_byte_ranges(
+        self, split: ObjectSplit, ranges: Sequence[Tuple[int, int]]
+    ) -> List[bytes]:
+        """Fetch absolute ``(offset, length)`` extents of a split's object.
+
+        The columnar plain-read path: each referenced column segment is
+        a ranged GET (adjacent extents coalesce into one), every request
+        metered and span-traced exactly like a split read -- which is
+        what keeps trace byte totals reconciling with
+        :class:`TransferMetrics` even though segment-granular reads
+        transfer fewer bytes than the object (or even the split) holds.
+        Extents must be ascending and non-overlapping, which segment
+        layout guarantees.
+        """
+        pieces: List[bytes] = []
+        for start, end, members in self._coalesce_ranges(ranges):
+            if end == start:
+                pieces.extend(b"" for _member in members)
+                continue
+            span, extra = self._segment_span(split, start, end)
+            response = self.client.get_object_stream(
+                split.container,
+                split.name,
+                byte_range=(start, end - 1),
+                headers=extra,
+            )
+            self.metrics.record_request(end - start, pushdown=False)
+            data = b"".join(
+                self._metered(response.iter_body(), split, None, span)
+            )
+            for offset, length in members:
+                pieces.append(data[offset - start : offset - start + length])
+        return pieces
+
+    async def aread_byte_ranges(
+        self, split: ObjectSplit, ranges: Sequence[Tuple[int, int]]
+    ) -> List[bytes]:
+        """Coroutine twin of :meth:`read_byte_ranges`: same coalescing,
+        spans and metering through the async client."""
+        if self.async_client is None:
+            raise RuntimeError(
+                "no async client bound: call bind_async_client() first"
+            )
+        pieces: List[bytes] = []
+        for start, end, members in self._coalesce_ranges(ranges):
+            if end == start:
+                pieces.extend(b"" for _member in members)
+                continue
+            span, extra = self._segment_span(split, start, end)
+            response = await self.async_client.get_object_stream(
+                split.container,
+                split.name,
+                byte_range=(start, end - 1),
+                headers=extra,
+            )
+            self.metrics.record_request(end - start, pushdown=False)
+            chunks = []
+            async for chunk in self._ametered(
+                response.aiter_body(), split, None, span
+            ):
+                chunks.append(chunk)
+            data = b"".join(chunks)
+            for offset, length in members:
+                pieces.append(data[offset - start : offset - start + length])
+        return pieces
+
+    def _segment_span(
+        self, split: ObjectSplit, start: int, end: int
+    ) -> Tuple[Optional[Span], Dict[str, str]]:
+        """Open the connector span + trace header for one segment GET."""
+        tracer = get_collector()
+        trace_id = tracer.new_trace_id() if tracer.enabled else ""
+        span = tracer.start(
+            "connector",
+            "segment_get",
+            trace_id=trace_id,
+            container=split.container,
+            object=split.name,
+            split_index=split.index,
+            range_start=start,
+            range_length=end - start,
+            pushdown=False,
+        )
+        extra: Dict[str, str] = {TRACE_HEADER: trace_id} if trace_id else {}
+        return span, extra
+
+    @staticmethod
+    def _coalesce_ranges(
+        ranges: Sequence[Tuple[int, int]],
+    ) -> List[Tuple[int, int, List[Tuple[int, int]]]]:
+        """Merge ascending adjacent ``(offset, length)`` extents into
+        ``(start, end, members)`` GET groups (``end`` exclusive)."""
+        groups: List[Tuple[int, int, List[Tuple[int, int]]]] = []
+        for offset, length in ranges:
+            if length < 0:
+                raise ValueError(f"negative range length: {length}")
+            if groups and offset == groups[-1][1]:
+                start, _end, members = groups[-1]
+                members.append((offset, length))
+                groups[-1] = (start, offset + length, members)
+            else:
+                groups.append((offset, offset + length, [(offset, length)]))
+        return groups
 
     # -- split reads --------------------------------------------------------
 

@@ -38,6 +38,9 @@ class PushdownTask:
     #: Pipeline a zlib compression storlet after the filter, so the
     #: filtered data crosses the network compressed (Section VI-C).
     compress: bool = False
+    #: Storlet-specific parameters merged verbatim into the request
+    #: (the columnar storlet's per-split stripe descriptors travel here).
+    extra_parameters: Dict[str, str] = field(default_factory=dict)
 
     def is_noop(self) -> bool:
         """True when the task would not reduce the transfer at all."""
@@ -69,6 +72,7 @@ class PushdownTask:
             parameters["columns"] = json.dumps(self.columns)
         if self.filters:
             parameters["filters"] = filters_to_json(self.filters)
+        parameters.update(self.extra_parameters)
         return parameters
 
     def apply_to_headers(self, headers: Dict[str, str]) -> None:

@@ -34,7 +34,12 @@ from repro.spark.scheduler import SparkContext, default_execution_mode
 from repro.swift.aclient import AsyncSwiftClient
 from repro.spark.session import SparkSession
 from repro.sql.types import Schema
+from repro.spark.columnar_source import ColumnarRelation
 from repro.storlets.agg_storlet import AggregatingStorlet
+from repro.storlets.columnar_storlet import (
+    ColumnarStorlet,
+    CsvToColumnarStorlet,
+)
 from repro.storlets.compress_storlet import CompressStorlet, DecompressStorlet
 from repro.storlets.csv_storlet import CsvStorlet
 from repro.storlets.engine import StorletEngine, StorletPolicy
@@ -166,8 +171,16 @@ class ScoopContext:
         self.delegator = AnalyticsDelegator(controller)
         self._last_report: Optional[QueryRunReport] = None
 
+        # Table format resolution: ``REPRO_FORMAT=columnar`` makes
+        # :meth:`register_csv_table` convert uploaded CSV to RCF1 and
+        # register the columnar relation instead (per-call ``format=``
+        # overrides win).
+        self.default_format = os.environ.get("REPRO_FORMAT", "csv")
+
         # Deploy the stock pushdown/ETL filters (stored as regular objects).
         self.engine.deploy(CsvStorlet(), self.client)
+        self.engine.deploy(ColumnarStorlet(), self.client)
+        self.engine.deploy(CsvToColumnarStorlet(), self.client)
         self.engine.deploy(AggregatingStorlet(), self.client)
         self.engine.deploy(CleansingStorlet(), self.client)
         self.engine.deploy(ColumnSplitStorlet(), self.client)
@@ -240,6 +253,63 @@ class ScoopContext:
             ),
         )
 
+    def convert_csv_to_columnar(
+        self,
+        source_container: str,
+        target_container: str,
+        schema: Schema,
+        prefix: str = "",
+        has_header: bool = False,
+        delimiter: str = ",",
+        stripe_rows: Optional[int] = None,
+        stripe_bytes: Optional[int] = None,
+    ) -> List[str]:
+        """Convert every CSV object of a container to RCF1 via the ETL path.
+
+        Installs the ``csv2columnar`` storlet as a PUT policy on the
+        target container, then re-PUTs each source object through it --
+        the paper's "compute at ingestion" move applied to format
+        conversion: the store itself parses, types and re-encodes the
+        data while it is written, so the compute cluster never sees the
+        row-oriented bytes.
+
+        ``stripe_bytes`` defaults to the connector's chunk size: stripes
+        sized to the split granule give the scheduler as many columnar
+        splits to speculate over as the row path has, so early-stopping
+        plans (LIMIT) abandon a comparable share of the dataset.
+        """
+        self.client.put_container(target_container)
+        self.engine.clear_policies(self.client.account, target_container)
+        if stripe_bytes is None:
+            stripe_bytes = self.connector.chunk_size
+        parameters = {
+            "schema": schema.to_header(),
+            "has_header": "true" if has_header else "false",
+            "stripe_bytes": str(stripe_bytes),
+        }
+        if delimiter != ",":
+            parameters["delimiter"] = delimiter
+        if stripe_rows is not None:
+            parameters["stripe_rows"] = str(stripe_rows)
+        self.engine.set_policy(
+            self.client.account,
+            target_container,
+            StorletPolicy(
+                storlet=CsvToColumnarStorlet.name,
+                method="PUT",
+                parameters=parameters,
+            ),
+        )
+        written = []
+        for name in self.client.list_objects(
+            source_container, prefix=prefix
+        ):
+            _headers, data = self.client.get_object(source_container, name)
+            target_name = name.rsplit(".", 1)[0] + ".rcf"
+            self.client.put_object(target_container, target_name, data)
+            written.append(target_name)
+        return written
+
     # -- table registration -----------------------------------------------------
 
     def register_csv_table(
@@ -254,7 +324,40 @@ class ScoopContext:
         compress_transfer: bool = False,
         tenant: str = "default",
         adaptive: bool = False,
-    ) -> CsvRelation:
+        format: Optional[str] = None,
+    ):
+        """Register CSV data as a SQL table.
+
+        ``format`` resolves against :attr:`default_format` (the
+        ``REPRO_FORMAT`` env var): under ``columnar`` the CSV objects
+        are first converted to RCF1 in a shadow container through the
+        PUT-path ETL storlet and the *columnar* relation is registered
+        instead -- byte-identical query results, columnar data plane.
+        Pass ``format="csv"`` to pin the row path regardless of the
+        environment.
+        """
+        resolved = format or self.default_format
+        if resolved == "columnar":
+            if schema is None:
+                from repro.spark.csv_source import infer_csv_schema
+
+                schema = infer_csv_schema(
+                    self.connector, container, prefix, has_header
+                )
+            shadow = f"{container}--columnar"
+            self.convert_csv_to_columnar(
+                container, shadow, schema, prefix=prefix, has_header=has_header
+            )
+            return self.register_columnar_table(
+                table,
+                shadow,
+                schema=schema,
+                pushdown=pushdown,
+                run_on=run_on,
+                compress_transfer=compress_transfer,
+                tenant=tenant,
+                adaptive=adaptive,
+            )
         relation = CsvRelation(
             self.spark_context,
             self.connector,
@@ -262,6 +365,35 @@ class ScoopContext:
             prefix=prefix,
             schema=schema,
             has_header=has_header,
+            pushdown=pushdown,
+            run_on=run_on,
+            compress_transfer=compress_transfer,
+            controller=self.controller if adaptive else None,
+            tenant=tenant,
+        )
+        self.session.register_table(table, relation)
+        return relation
+
+    def register_columnar_table(
+        self,
+        table: str,
+        container: str,
+        schema: Optional[Schema] = None,
+        prefix: str = "",
+        pushdown: bool = True,
+        run_on: str = "object",
+        compress_transfer: bool = False,
+        tenant: str = "default",
+        adaptive: bool = False,
+    ) -> ColumnarRelation:
+        """Register RCF1 columnar data as a SQL table (schema defaults
+        to the first object's footer)."""
+        relation = ColumnarRelation(
+            self.spark_context,
+            self.connector,
+            container,
+            prefix=prefix,
+            schema=schema,
             pushdown=pushdown,
             run_on=run_on,
             compress_transfer=compress_transfer,

@@ -98,6 +98,22 @@ def named_plan(name: str, seed: int = 20170417) -> FaultPlan:
                     times=1,
                     probability=0.3,
                 ),
+                # The same pressure on the columnar scan storlet, so the
+                # plan stresses whichever format the data plane runs
+                # (rules are appended: indices of the rules above -- and
+                # with them every seeded draw -- are unchanged).
+                StorletCrash(
+                    storlet="columnarstorlet",
+                    reason="crash",
+                    times=None,
+                    probability=0.6,
+                ),
+                StorletCrash(
+                    storlet="columnarstorlet",
+                    reason="cpu-exhausted",
+                    times=1,
+                    probability=0.3,
+                ),
             ),
         )
     if name == "overload":
@@ -125,9 +141,17 @@ def named_plan(name: str, seed: int = 20170417) -> FaultPlan:
                 # Injected admission sheds; 429 is retryable, so the
                 # client backs off and the work still completes.
                 FlakyProxy(status=429, times=1, probability=0.2),
-                # Storlet CPU exhaustion under load: degradable.
+                # Storlet CPU exhaustion under load: degradable.  Both
+                # scan storlets are covered so the mix applies to the
+                # row and columnar data planes alike.
                 StorletCrash(
                     storlet="csvstorlet",
+                    reason="cpu-exhausted",
+                    times=1,
+                    probability=0.25,
+                ),
+                StorletCrash(
+                    storlet="columnarstorlet",
                     reason="cpu-exhausted",
                     times=1,
                     probability=0.25,

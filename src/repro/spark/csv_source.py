@@ -329,8 +329,14 @@ class CsvRelation(PrunedFilteredScan):
             )
         self._schema = schema
         # Partition discovery happens at relation creation, before any
-        # query is specified (paper Section V-B).
-        self._splits = connector.discover_partitions(container, prefix)
+        # query is specified (paper Section V-B).  Record alignment
+        # slides any split boundary that would land inside a quoted
+        # field to the next record start (demoting an object whose
+        # quoting never closes to a single split), so parallel ranged
+        # reads of quoted CSV frame correctly.
+        self._splits = connector.discover_partitions(
+            container, prefix, record_aligned=True
+        )
 
     def schema(self) -> Schema:
         return self._schema

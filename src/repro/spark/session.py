@@ -19,7 +19,7 @@ from repro.sql.catalyst import (
     extract_pushdown,
 )
 from repro.sql.errors import SqlAnalysisError
-from repro.sql.executor import execute_plan
+from repro.sql.executor import execute_plan, execute_plan_batches
 from repro.sql.parser import Query, parse_query
 from repro.sql.types import Row, Schema
 from repro.spark.dataframe import DataFrame
@@ -142,6 +142,18 @@ class SparkSession:
         # scheduler on demand, so non-blocking plans (scan/filter/project/
         # limit) never materialize a partition, and a satisfied LIMIT
         # stops the remaining tasks -- and their GETs -- entirely.
+        if getattr(rdd, "supports_column_batches", False):
+            # Columnar fast path: the scan yields ColumnBatch objects
+            # that flow through the scheduler untouched, and the
+            # executor runs compile-once vectorized kernels over them.
+            # ``None`` means some plan fragment is not provably total
+            # under batch evaluation -- fall through to the row path,
+            # which preserves exact per-row error semantics.
+            result = execute_plan_batches(
+                plan, lambda: self.context.iter_batches(rdd), scan_schema
+            )
+            if result is not None:
+                return result
         return execute_plan(
             plan, lambda: self.context.iter_rows(rdd), scan_schema
         )
@@ -214,6 +226,29 @@ def _csv_provider(session: SparkSession, path: str, options: Dict[str, Any]):
     )
 
 
+def _columnar_provider(
+    session: SparkSession, path: str, options: Dict[str, Any]
+):
+    from repro.spark.columnar_source import ColumnarRelation
+
+    connector = options.get("connector")
+    if connector is None:
+        raise SqlAnalysisError(
+            "columnar format needs option('connector', <StocatorConnector>)"
+        )
+    container, _slash, prefix = path.strip("/").partition("/")
+    return ColumnarRelation(
+        session.context,
+        connector,
+        container,
+        prefix=prefix,
+        schema=options.get("schema"),
+        pushdown=_truthy(options.get("pushdown", True)),
+        storlet_name=options.get("storlet", "columnarstorlet"),
+        run_on=options.get("run_on", "object"),
+    )
+
+
 def _parquet_provider(
     session: SparkSession, path: str, options: Dict[str, Any]
 ):
@@ -241,4 +276,5 @@ def _truthy(value: Any) -> bool:
 
 
 register_provider("csv", _csv_provider)
+register_provider("columnar", _columnar_provider)
 register_provider("parquet", _parquet_provider)

@@ -142,10 +142,21 @@ def _compile_project(node: ProjectNode, child: Compiled) -> Compiled:
     return Compiled(schema, rows, 0)
 
 
-def _compile_aggregate(node: AggregateNode, child: Compiled) -> Compiled:
-    input_schema = child.schema
-    key_evals = [expression.bind(input_schema) for expression in node.group_by]
+@dataclass
+class _AggregateSpec:
+    """The schema-level analysis of one AggregateNode, shared by the
+    row-at-a-time operator and the batch (vectorized) operator so both
+    raise identical analysis errors and produce identical layouts."""
 
+    group_by: List[Expression]
+    aggregates: List[Aggregate]
+    output_evals: List[Callable]
+    having_eval: Optional[Callable]
+    schema: Schema
+
+
+def _analyze_aggregate(node: AggregateNode, input_schema: Schema) -> _AggregateSpec:
+    """Resolve aggregates, post-agg rewrites and output schema."""
     # Collect the distinct aggregate calls across all output items, plus
     # any aggregates the HAVING clause references but the items do not.
     aggregates: List[Aggregate] = []
@@ -157,7 +168,6 @@ def _compile_aggregate(node: AggregateNode, child: Compiled) -> Compiled:
         for aggregate in node.having.aggregates():
             if aggregate not in aggregates:
                 aggregates.append(aggregate)
-    aggregate_inputs = [agg.bind_input(input_schema) for agg in aggregates]
 
     # Post-aggregation row layout: [key_0..key_k, agg_0..agg_m].
     post_fields = [
@@ -214,6 +224,39 @@ def _compile_aggregate(node: AggregateNode, child: Compiled) -> Compiled:
         for i, e in enumerate(node.group_by)
     ]
     schema = Schema(visible_fields + hidden_key_fields)
+    return _AggregateSpec(
+        group_by=list(node.group_by),
+        aggregates=aggregates,
+        output_evals=output_evals,
+        having_eval=having_eval,
+        schema=schema,
+    )
+
+
+def _finalize_groups(
+    spec: _AggregateSpec, groups: dict, order: List[Tuple]
+) -> Iterator[Row]:
+    """Turn accumulated groups into output rows (HAVING applied)."""
+    if not order and not spec.group_by:
+        # Global aggregate over empty input still yields one row.
+        order.append(())
+        groups[()] = [
+            make_accumulator(agg.name, agg.distinct) for agg in spec.aggregates
+        ]
+    for key in order:
+        accumulators = groups[key]
+        post_row = key + tuple(acc.result() for acc in accumulators)
+        if spec.having_eval is not None and spec.having_eval(post_row) is not True:
+            continue
+        outputs = tuple(evaluate(post_row) for evaluate in spec.output_evals)
+        yield outputs + key
+
+
+def _compile_aggregate(node: AggregateNode, child: Compiled) -> Compiled:
+    input_schema = child.schema
+    spec = _analyze_aggregate(node, input_schema)
+    key_evals = [expression.bind(input_schema) for expression in node.group_by]
+    aggregate_inputs = [agg.bind_input(input_schema) for agg in spec.aggregates]
 
     def rows() -> Iterator[Row]:
         groups: dict = {}
@@ -224,28 +267,19 @@ def _compile_aggregate(node: AggregateNode, child: Compiled) -> Compiled:
             if accumulators is None:
                 accumulators = [
                     make_accumulator(agg.name, agg.distinct)
-                    for agg in aggregates
+                    for agg in spec.aggregates
                 ]
                 groups[key] = accumulators
                 order.append(key)
             for accumulator, input_eval in zip(accumulators, aggregate_inputs):
                 accumulator.add(input_eval(row))
-        if not order and not node.group_by:
-            # Global aggregate over empty input still yields one row.
-            order.append(())
-            groups[()] = [
-                make_accumulator(agg.name, agg.distinct) for agg in aggregates
-            ]
-        for key in order:
-            accumulators = groups[key]
-            post_row = key + tuple(acc.result() for acc in accumulators)
-            if having_eval is not None and having_eval(post_row) is not True:
-                continue
-            outputs = tuple(evaluate(post_row) for evaluate in output_evals)
-            yield outputs + key
+        yield from _finalize_groups(spec, groups, order)
 
     return Compiled(
-        schema, rows, hidden=len(node.group_by), group_exprs=list(node.group_by)
+        spec.schema,
+        rows,
+        hidden=len(node.group_by),
+        group_exprs=list(node.group_by),
     )
 
 
@@ -368,6 +402,202 @@ def _compile_limit(node: LimitNode, child: Compiled) -> Compiled:
         return itertools.islice(child.rows(), node.count)
 
     return Compiled(child.schema, rows, child.hidden, child.group_exprs)
+
+
+# --------------------------------------------------------------------------
+# The columnar (batch-at-a-time) fast path
+# --------------------------------------------------------------------------
+
+BatchSource = Callable[[], Iterable[Any]]
+
+
+def _linearize(plan: LogicalPlan) -> List[LogicalPlan]:
+    """Flatten the (always linear) plan chain, scan first."""
+    nodes: List[LogicalPlan] = []
+    node = plan
+    while not isinstance(node, ScanNode):
+        nodes.append(node)
+        node = node.child  # type: ignore[attr-defined]
+    nodes.append(node)
+    nodes.reverse()
+    return nodes
+
+
+def _compile_above(node: LogicalPlan, child: Compiled) -> Compiled:
+    """Compile one remaining plan node with the row operators."""
+    if isinstance(node, FilterNode):
+        return _compile_filter(node, child)
+    if isinstance(node, ProjectNode):
+        return _compile_project(node, child)
+    if isinstance(node, AggregateNode):
+        return _compile_aggregate(node, child)
+    if isinstance(node, DistinctNode):
+        return _compile_distinct(child)
+    if isinstance(node, SortNode):
+        return _compile_sort(node, child)
+    if isinstance(node, LimitNode):
+        return _compile_limit(node, child)
+    raise SqlAnalysisError(f"unknown plan node {type(node).__name__}")
+
+
+def _compile_aggregate_batches(
+    node: AggregateNode, batches: Callable[[], Iterator[Any]], scan_schema: Schema
+) -> Optional[Compiled]:
+    """Vectorized partial aggregation: key/input vectors via kernels,
+    one tight accumulation loop per batch, shared finalization.
+
+    Returns None when a grouping or input expression is not provably
+    total -- the caller then aggregates row-at-a-time instead.
+    """
+    from repro.sql.expressions import Star
+    from repro.sql.kernels import compile_expression
+
+    key_kernels = []
+    for expression in node.group_by:
+        kernel = compile_expression(expression, scan_schema)
+        if kernel is None:
+            return None
+        key_kernels.append(kernel)
+    spec = _analyze_aggregate(node, scan_schema)
+    input_kernels = []
+    for aggregate in spec.aggregates:
+        if isinstance(aggregate.arg, Star):
+            input_kernels.append(lambda cols, n: [1] * n)
+            continue
+        kernel = compile_expression(aggregate.arg, scan_schema)
+        if kernel is None:
+            return None
+        input_kernels.append(kernel)
+
+    def rows() -> Iterator[Row]:
+        groups: dict = {}
+        order: List[Tuple] = []
+        for batch in batches():
+            n = len(batch)
+            if n == 0:
+                continue
+            cols = batch.columns
+            key_vectors = [kernel(cols, n) for kernel in key_kernels]
+            input_vectors = [kernel(cols, n) for kernel in input_kernels]
+            keys = list(zip(*key_vectors)) if key_vectors else [()] * n
+            for i in range(n):
+                key = keys[i]
+                accumulators = groups.get(key)
+                if accumulators is None:
+                    accumulators = [
+                        make_accumulator(agg.name, agg.distinct)
+                        for agg in spec.aggregates
+                    ]
+                    groups[key] = accumulators
+                    order.append(key)
+                for accumulator, vector in zip(accumulators, input_vectors):
+                    accumulator.add(vector[i])
+        yield from _finalize_groups(spec, groups, order)
+
+    return Compiled(
+        spec.schema,
+        rows,
+        hidden=len(node.group_by),
+        group_exprs=list(node.group_by),
+    )
+
+
+def compile_plan_batches(
+    plan: LogicalPlan, batch_source: BatchSource, scan_schema: Schema
+) -> Optional[Compiled]:
+    """Compile a plan against a *batch* source, staying columnar for the
+    maximal Scan -> Filter -> (Project | Aggregate) prefix.
+
+    The prefix runs as compile-once kernels over ``ColumnBatch`` column
+    vectors; any remaining operators (Distinct/Sort/Limit, or a
+    projection/aggregation that did not prove total) reuse the row
+    operators above the kernel pipeline, so results -- including which
+    queries raise and when -- are byte-identical to the row path.
+
+    Returns None when the WHERE predicate cannot be proven total; the
+    caller must then fall back to :func:`execute_plan` over rows.
+    """
+    from repro.columnar.batch import as_column_batch
+    from repro.sql.kernels import compile_predicate, compile_projection
+
+    nodes = _linearize(plan)
+    rest = nodes[1:]  # drop the ScanNode
+    consumed = 0
+    selection = None
+    if rest and isinstance(rest[0], FilterNode):
+        selection = compile_predicate(rest[0].condition, scan_schema)
+        if selection is None:
+            # The predicate could raise; only the row path preserves
+            # exactly *where* in the stream it does.
+            return None
+        consumed = 1
+
+    def filtered_batches() -> Iterator[Any]:
+        for batch in batch_source():
+            columnar = as_column_batch(batch, scan_schema)
+            if selection is not None:
+                n = len(columnar)
+                picked = selection(columnar.columns, n)
+                if not picked:
+                    continue
+                if len(picked) != n:
+                    columnar = columnar.take(picked)
+            yield columnar
+
+    base: Optional[Compiled] = None
+    next_node = rest[consumed] if consumed < len(rest) else None
+    if isinstance(next_node, ProjectNode):
+        project = compile_projection(
+            [item.expression for item in next_node.items], scan_schema
+        )
+        if project is not None:
+            out_schema = Schema(
+                [
+                    Field(item.output_name, infer_type(item.expression, scan_schema))
+                    for item in next_node.items
+                ]
+            )
+
+            def project_rows() -> Iterator[Row]:
+                for batch in filtered_batches():
+                    yield from zip(*project(batch.columns, len(batch)))
+
+            base = Compiled(out_schema, project_rows)
+            consumed += 1
+    elif isinstance(next_node, AggregateNode):
+        base = _compile_aggregate_batches(next_node, filtered_batches, scan_schema)
+        if base is not None:
+            consumed += 1
+
+    if base is None:
+
+        def scan_rows() -> Iterator[Row]:
+            for batch in filtered_batches():
+                yield from batch.rows
+
+        base = Compiled(scan_schema, scan_rows)
+
+    compiled = base
+    for node in rest[consumed:]:
+        compiled = _compile_above(node, compiled)
+    return compiled
+
+
+def execute_plan_batches(
+    plan: LogicalPlan, batch_source: BatchSource, scan_schema: Schema
+) -> Optional[Tuple[Schema, List[Row]]]:
+    """Run ``plan`` over a batch source via the columnar fast path.
+
+    Returns None when the plan does not compile to kernels (the caller
+    falls back to :func:`execute_plan` over a row source).
+    """
+    compiled = compile_plan_batches(plan, batch_source, scan_schema)
+    if compiled is None:
+        return None
+    rows = list(compiled.rows())
+    if compiled.hidden:
+        rows = [row[: -compiled.hidden] for row in rows]
+    return compiled.visible_schema(), rows
 
 
 # --------------------------------------------------------------------------

@@ -16,14 +16,13 @@ tasks cover every record exactly once:
 
 Record framing is quote-aware (RFC 4180): a newline inside a quoted
 field does *not* terminate the record, so fields with embedded newlines
-parse as one record -- framing and :func:`_parse_record` agree.  One
-inherited limitation remains: a *split boundary* that bisects a quoted
-field cannot be re-synchronized (the scanner entering mid-field cannot
-know it is inside quotes), exactly as with Hadoop's TextInputFormat;
-writers that need parallel ranged reads should keep records smaller
-than the chunk size, which partitioning guarantees for sane data.
-Chunk boundaries (within one range read) inside quoted fields are fully
-supported -- the quote state carries across buffer refills.
+parse as one record -- framing and :func:`_parse_record` agree.  Chunk
+boundaries (within one range read) inside quoted fields are fully
+supported -- the quote state carries across buffer refills.  Split
+boundaries never land inside a quoted field either: partition discovery
+plans them quote-aware (:mod:`repro.connector.split_planner`), sliding
+any boundary that would bisect a quoted field to the next record start,
+so the scanner's ``in_quotes = False`` entry assumption always holds.
 """
 
 from __future__ import annotations
@@ -210,9 +209,10 @@ def _owned_lines(
     Framing is quote-aware (RFC 4180): a ``\\n`` between an odd number
     of double quotes is *inside* a quoted field and does not terminate
     the record.  The quote parity carries across chunk refills, so a
-    quoted field may straddle any number of stream chunks.  (A *range*
-    boundary inside a quoted field is not recoverable -- see the module
-    docstring.)
+    quoted field may straddle any number of stream chunks.  (Range
+    boundaries are planned quote-safe at discovery time -- see the
+    module docstring -- so starting a scan with ``in_quotes = False``
+    is always correct.)
     """
     buffer = b""
     offset = 0  # stream offset of buffer[0]

@@ -59,19 +59,29 @@ class TestReplicaLoss:
 
 
 class TestMissingFilter:
+    # Both scan storlets: whichever format REPRO_FORMAT selects, the
+    # active data plane loses its pushdown filter.
+    SCAN_STORLETS = ("csvstorlet", "columnarstorlet")
+
+    def _undeploy_scan_storlets(self, rig):
+        for name in self.SCAN_STORLETS:
+            rig.engine.undeploy(name)
+
     def test_undeployed_storlet_fails_loudly(self, rig):
-        rig.engine.undeploy("csvstorlet")
+        self._undeploy_scan_storlets(rig)
         with pytest.raises(SwiftError):
             rig.sql(SQL).collect()
 
     def test_redeploy_restores_service(self, rig):
         from repro.storlets import CsvStorlet
+        from repro.storlets.columnar_storlet import ColumnarStorlet
 
         baseline = rig.sql(SQL).collect()
-        rig.engine.undeploy("csvstorlet")
+        self._undeploy_scan_storlets(rig)
         with pytest.raises(SwiftError):
             rig.sql(SQL).collect()
         rig.engine.deploy(CsvStorlet(), rig.client)
+        rig.engine.deploy(ColumnarStorlet(), rig.client)
         assert rig.sql(SQL).collect() == baseline
 
 

@@ -224,11 +224,17 @@ class TestStorletFaults:
         spec = DatasetSpec(meters=10, intervals=48, objects=2)
         upload_dataset(ctx.client, "meters", spec)
         ctx.register_csv_table("m", "meters", schema=METER_SCHEMA)
-        sql = "SELECT vid FROM m WHERE city LIKE 'Rotterdam'"
+        # A predicate that matches data: a no-row predicate would let
+        # columnar stripe pruning skip every GET, leaving no storlet
+        # invocation to crash.
+        sql = "SELECT vid FROM m WHERE city LIKE 'R%'"
         baseline = ctx.sql(sql).collect()
 
         plan = FaultPlan(
-            faults=(StorletCrash(storlet="csvstorlet", times=None),)
+            faults=(
+                StorletCrash(storlet="csvstorlet", times=None),
+                StorletCrash(storlet="columnarstorlet", times=None),
+            )
         )
         install_fault_plan(ctx.cluster, plan, engine=ctx.engine)
         degraded = ctx.sql(sql).collect()
