@@ -1,0 +1,240 @@
+"""Build, serialize and decode per-object data-skipping catalog entries.
+
+A catalog entry is one JSON document stored under the
+:data:`CATALOG_HEADER` user-metadata header of the object it describes::
+
+    {"v": 1, "rows": N, "cols": {
+        "<column>": {"min": ..., "max": ..., "nulls": n,
+                     "nan": true,            # only when bounds incomplete
+                     "bloom": "<hex>", "bb": bits, "bh": hashes}}}
+
+``min``/``max`` hold only finite values (non-finite data raises the
+``nan`` flag instead, mirroring the stripe footer fix), so the document
+serializes with ``allow_nan=False`` -- a builder bug can never smuggle a
+non-standard ``NaN``/``Infinity`` literal into the metadata tier.  The
+optional bloom filter covers columns with a bounded distinct-value set
+and sharpens equality/IN refutation beyond what min/max can prove.
+
+Decoding is strictly best-effort: any missing header, parse failure,
+unexpected shape, or version mismatch yields ``None``, which callers
+treat as "no evidence -- the object may match".  A stale or corrupt
+catalog can therefore only cost a wasted GET, never a missing row.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Mapping, Optional, Sequence, Set
+
+from repro.columnar.stats import (
+    DEFAULT_BLOOM_BITS,
+    DEFAULT_BLOOM_HASHES,
+    BloomFilter,
+    ColumnStats,
+    canonical_bloom_key,
+    filters_may_match,
+    is_non_finite,
+)
+from repro.sql.filters import Filter
+from repro.sql.types import Schema
+
+#: The Swift user-metadata header carrying one object's catalog entry.
+CATALOG_HEADER = "x-object-meta-scoop-catalog"
+
+#: Bump on any change a decoder of this version could misread.
+CATALOG_VERSION = 1
+
+#: Distinct-key cap per column: past this the bloom would saturate into
+#: uselessness anyway, so the builder drops it and keeps only min/max.
+MAX_BLOOM_KEYS = 256
+
+
+class _ColumnAccumulator:
+    """Streaming per-column stats: finite min/max, nulls, NaN flag, keys."""
+
+    def __init__(self) -> None:
+        self.nulls = 0
+        self.min_value: Any = None
+        self.max_value: Any = None
+        self.has_nan = False
+        #: Distinct canonical keys, or ``None`` once the bloom is off
+        #: (cap exceeded or an unkeyable value was seen).
+        self.keys: Optional[Set[bytes]] = set()
+        self._bounds_ok = True
+
+    def observe(self, value: Any) -> None:
+        """Fold one value into the running statistics."""
+        if value is None:
+            self.nulls += 1
+            return
+        if self.keys is not None:
+            key = canonical_bloom_key(value)
+            if key is None or len(self.keys) >= MAX_BLOOM_KEYS:
+                self.keys = None
+            else:
+                self.keys.add(key)
+        if is_non_finite(value):
+            self.has_nan = True
+            return
+        if not self._bounds_ok:
+            return
+        try:
+            if self.min_value is None:
+                self.min_value = self.max_value = value
+            else:
+                if value < self.min_value:
+                    self.min_value = value
+                if value > self.max_value:
+                    self.max_value = value
+        except TypeError:
+            # Mixed incomparable types: bounds prove nothing, drop them.
+            self.min_value = self.max_value = None
+            self._bounds_ok = False
+
+    def to_payload(self) -> dict:
+        """This column's catalog document fragment."""
+        entry: dict = {
+            "min": self.min_value if self._bounds_ok else None,
+            "max": self.max_value if self._bounds_ok else None,
+            "nulls": self.nulls,
+        }
+        if self.has_nan:
+            entry["nan"] = True
+        if self.keys is not None and self.keys:
+            bloom = BloomFilter()
+            for key in sorted(self.keys):
+                bloom.add_key(key)
+            entry["bloom"] = bloom.to_hex()
+            entry["bb"] = bloom.bits
+            entry["bh"] = bloom.hashes
+        return entry
+
+
+class CatalogBuilder:
+    """Accumulates a catalog entry while typed rows stream past.
+
+    The PUT-path storlets feed every row they emit (post-cleansing, so
+    the catalog describes exactly the stored content) and merge
+    :meth:`to_metadata` into their storlet metadata, which the engine
+    persists onto the stored object.
+    """
+
+    def __init__(self, schema: Schema):
+        """Track one accumulator per schema column (lowercased names)."""
+        self._names = [fld.name.lower() for fld in schema.fields]
+        self._columns = [_ColumnAccumulator() for _ in schema.fields]
+        self._rows = 0
+
+    def observe(self, row: Sequence[Any]) -> None:
+        """Fold one typed row (one value per schema column)."""
+        self._rows += 1
+        for accumulator, value in zip(self._columns, row):
+            accumulator.observe(value)
+
+    @property
+    def rows(self) -> int:
+        """Rows observed so far."""
+        return self._rows
+
+    def to_payload(self) -> dict:
+        """The complete catalog JSON document."""
+        return {
+            "v": CATALOG_VERSION,
+            "rows": self._rows,
+            "cols": {
+                name: accumulator.to_payload()
+                for name, accumulator in zip(self._names, self._columns)
+            },
+        }
+
+    def to_metadata(self) -> Dict[str, str]:
+        """The catalog as object user metadata (one header)."""
+        text = json.dumps(
+            self.to_payload(), separators=(",", ":"), allow_nan=False
+        )
+        return {CATALOG_HEADER: text}
+
+
+class ObjectCatalog:
+    """One object's decoded catalog entry, ready to probe with filters."""
+
+    def __init__(self, rows: int, columns: Dict[str, ColumnStats]):
+        """Wrap decoded per-column stats keyed by lowercased name."""
+        self.rows = rows
+        self.columns = columns
+
+    def may_match(self, filters: Sequence[Filter]) -> bool:
+        """Whether any row of the object could satisfy every filter.
+
+        ``False`` is a proof (modulo the catalog describing the stored
+        content, which the PUT-path construction guarantees) that no row
+        matches, so the whole object can be skipped without a GET.
+        """
+        if not filters:
+            return True
+        if self.rows == 0:
+            return False
+        return filters_may_match(
+            filters, lambda attribute: self.columns.get(attribute.lower())
+        )
+
+
+def _decode_column(entry: Any, rows: int) -> ColumnStats:
+    """Decode one column fragment; raises on any unexpected shape."""
+    if not isinstance(entry, dict):
+        raise ValueError("catalog column entry is not an object")
+    nulls = entry.get("nulls", 0)
+    if not isinstance(nulls, int) or nulls < 0:
+        raise ValueError("catalog null count is not a non-negative int")
+    bloom = None
+    if "bloom" in entry:
+        bloom = BloomFilter.from_hex(
+            entry["bloom"],
+            bits=int(entry.get("bb", DEFAULT_BLOOM_BITS)),
+            hashes=int(entry.get("bh", DEFAULT_BLOOM_HASHES)),
+        )
+    return ColumnStats(
+        rows=rows,
+        nulls=nulls,
+        min_value=entry.get("min"),
+        max_value=entry.get("max"),
+        has_nan=bool(entry.get("nan", False)),
+        bloom=bloom,
+    )
+
+
+def decode_catalog(headers: Mapping[str, Any]) -> Optional[ObjectCatalog]:
+    """Decode an object's catalog entry from its response headers.
+
+    Returns ``None`` -- "no evidence, the object may match" -- for a
+    missing header, malformed JSON, a version this decoder does not
+    understand, or any structurally unexpected document.  Never raises.
+    """
+    text = headers.get(CATALOG_HEADER)
+    if text is None:
+        # Plain dicts may carry unnormalized keys; match tolerantly the
+        # way header maps do (case-insensitive, dash/underscore alike).
+        wanted = CATALOG_HEADER.replace("_", "-")
+        for key, value in headers.items():
+            if str(key).lower().replace("_", "-") == wanted:
+                text = value
+                break
+    if text is None:
+        return None
+    try:
+        payload = json.loads(text)
+        if not isinstance(payload, dict) or payload.get("v") != CATALOG_VERSION:
+            return None
+        rows = payload["rows"]
+        if not isinstance(rows, int) or rows < 0:
+            return None
+        cols = payload.get("cols", {})
+        if not isinstance(cols, dict):
+            return None
+        columns = {
+            str(name).lower(): _decode_column(entry, rows)
+            for name, entry in cols.items()
+        }
+    except Exception:
+        return None
+    return ObjectCatalog(rows=rows, columns=columns)

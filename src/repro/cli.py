@@ -252,6 +252,16 @@ def _add_resilience_options(parser: argparse.ArgumentParser) -> None:
             "identical in either mode"
         ),
     )
+    parser.add_argument(
+        "--skipping",
+        action="store_true",
+        help=(
+            "arm the object-level data-skipping catalog (also: "
+            "REPRO_SKIPPING=1): whole objects whose per-column stats "
+            "refute the query's filters are skipped with zero GETs; "
+            "results are identical either way (docs/skipping.md)"
+        ),
+    )
     group = parser.add_argument_group("resilience")
     group.add_argument(
         "--retries",
@@ -354,6 +364,8 @@ def _resilience_context(args, **context_kwargs):
         # --async forces the event-loop mode; without it the REPRO_ASYNC
         # env default still applies (async_mode=None).
         async_mode=True if getattr(args, "async_mode", False) else None,
+        # Same pattern for --skipping and REPRO_SKIPPING.
+        skipping=True if getattr(args, "skipping", False) else None,
         **context_kwargs,
     )
 

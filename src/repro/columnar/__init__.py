@@ -28,8 +28,20 @@ from repro.columnar.layout import (
     iter_stripe_batches,
 )
 from repro.columnar.pruning import stripe_may_match
+from repro.columnar.stats import (
+    BloomFilter,
+    ColumnStats,
+    filter_may_match,
+    filters_may_match,
+    finite_min_max,
+)
 
 __all__ = [
+    "BloomFilter",
+    "ColumnStats",
+    "filter_may_match",
+    "filters_may_match",
+    "finite_min_max",
     "MAGIC",
     "BlockStreamDecoder",
     "ColumnBatch",

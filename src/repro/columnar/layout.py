@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.columnar.batch import ColumnBatch
+from repro.columnar.stats import finite_min_max
 from repro.sql.types import DataType, Schema
 
 MAGIC = b"RCF1"
@@ -59,6 +60,9 @@ class SegmentMeta:
     min_value: Any = None
     max_value: Any = None
     nulls: int = 0
+    #: The segment held NaN/+/-Inf values that min/max exclude -- the
+    #: bounds are incomplete and pruning must not refute from them.
+    has_nan: bool = False
 
 
 @dataclass(frozen=True)
@@ -100,19 +104,26 @@ class ColumnarFooter:
                 {
                     "rows": stripe.rows,
                     "columns": [
-                        {
-                            "off": seg.offset,
-                            "len": seg.length,
-                            "min": seg.min_value,
-                            "max": seg.max_value,
-                            "nulls": seg.nulls,
-                        }
-                        for seg in stripe.columns
+                        self._segment_payload(seg) for seg in stripe.columns
                     ],
                 }
                 for stripe in self.stripes
             ],
         }
+
+    @staticmethod
+    def _segment_payload(seg: SegmentMeta) -> dict:
+        """One segment's footer entry (``nan`` key only when raised)."""
+        entry = {
+            "off": seg.offset,
+            "len": seg.length,
+            "min": seg.min_value,
+            "max": seg.max_value,
+            "nulls": seg.nulls,
+        }
+        if seg.has_nan:
+            entry["nan"] = True
+        return entry
 
     @classmethod
     def from_payload(cls, payload: dict, data_end: int) -> "ColumnarFooter":
@@ -127,6 +138,7 @@ class ColumnarFooter:
                         min_value=seg.get("min"),
                         max_value=seg.get("max"),
                         nulls=seg.get("nulls", 0),
+                        has_nan=bool(seg.get("nan", False)),
                     )
                     for seg in entry["columns"]
                 ],
@@ -174,12 +186,16 @@ def _encode_text(texts: Sequence[str]) -> bytes:
 
 def encode_segment(
     values: Sequence[Any], dtype: DataType
-) -> Tuple[bytes, int, Any, Any]:
-    """Encode one column vector; returns ``(data, nulls, min, max)``.
+) -> Tuple[bytes, int, Any, Any, bool]:
+    """Encode one column; returns ``(data, nulls, min, max, has_nan)``.
 
     ``data`` is the full segment (tag byte, null bitmap, payload); min
-    and max are over the non-null values (``None`` when the segment is
-    all NULL or empty).
+    and max are over the non-null **finite** values (``None`` when the
+    segment is all NULL or empty).  NaN and +/-Inf are excluded from the
+    bounds -- Python's ``min``/``max`` are order-dependent under NaN, so
+    including them poisons the stats and makes pruning unsound -- and
+    reported through ``has_nan`` instead, which tells the pruner the
+    bounds are incomplete.
     """
     bitmap, nulls, non_null = _split_nulls(values)
     if dtype is DataType.INT:
@@ -194,9 +210,8 @@ def encode_segment(
         tag, payload = ENC_BOOL, _pack_bits([bool(v) for v in non_null])
     else:
         tag, payload = ENC_TEXT, _encode_text([str(v) for v in non_null])
-    min_value = min(non_null) if non_null else None
-    max_value = max(non_null) if non_null else None
-    return bytes((tag,)) + bitmap + payload, nulls, min_value, max_value
+    min_value, max_value, has_nan = finite_min_max(non_null)
+    return bytes((tag,)) + bitmap + payload, nulls, min_value, max_value, has_nan
 
 
 #: Per-byte popcount table: counting set bitmap bits byte-wise is 8x
@@ -269,7 +284,9 @@ def _encode_stripe(
     segments: List[SegmentMeta] = []
     offset = position
     for fld, vector in zip(schema.fields, columns):
-        data, nulls, min_value, max_value = encode_segment(vector, fld.dtype)
+        data, nulls, min_value, max_value, has_nan = encode_segment(
+            vector, fld.dtype
+        )
         segments.append(
             SegmentMeta(
                 offset=offset,
@@ -277,6 +294,7 @@ def _encode_stripe(
                 min_value=min_value,
                 max_value=max_value,
                 nulls=nulls,
+                has_nan=has_nan,
             )
         )
         parts.append(data)
@@ -357,7 +375,13 @@ def encode_stream(
     footer = ColumnarFooter(
         schema=schema, rows=total_rows, stripes=stripes, data_end=position
     )
-    payload = json.dumps(footer.to_payload(), separators=(",", ":")).encode("utf-8")
+    # allow_nan=False: the min/max fields hold only finite values by
+    # construction now (non-finite data raises the "nan" flag instead),
+    # and this keeps it that way -- the non-standard NaN/Infinity JSON
+    # literals would otherwise round-trip poisoned bounds undetected.
+    payload = json.dumps(
+        footer.to_payload(), separators=(",", ":"), allow_nan=False
+    ).encode("utf-8")
     yield payload + f"{len(payload):08d}".encode("ascii") + MAGIC
 
 
@@ -457,7 +481,7 @@ def encode_block(batch: ColumnBatch) -> bytes:
     segments = []
     lengths = []
     for fld, vector in zip(batch.schema.fields, batch.columns):
-        data, _nulls, _mn, _mx = encode_segment(vector, fld.dtype)
+        data, _nulls, _mn, _mx, _nan = encode_segment(vector, fld.dtype)
         segments.append(data)
         lengths.append(len(data))
     header = json.dumps(

@@ -1,35 +1,29 @@
 """Stripe pruning: skip stripes whose footer stats refute the filters.
 
-The footer records min/max/null-count per column segment.  Before a
-reader fetches a stripe's segments it asks whether the pushdown filter
-conjunction could possibly match any row in the stripe; a ``False``
-answer skips the stripe's byte ranges entirely.  The analysis is
+The footer records min/max/null-count (plus a has-NaN flag) per column
+segment.  Before a reader fetches a stripe's segments it asks whether
+the pushdown filter conjunction could possibly match any row in the
+stripe; a ``False`` answer skips the stripe's byte ranges entirely.
+
+The refutation itself lives in :mod:`repro.columnar.stats` and is
+shared with the object-level data-skipping catalog
+(:mod:`repro.catalog`); this module only adapts footer
+:class:`~repro.columnar.layout.SegmentMeta` entries into
+:class:`~repro.columnar.stats.ColumnStats` evidence.  The analysis is
 *conservative* in the same direction as filter evaluation itself
 (:mod:`repro.sql.filters`): it may answer ``True`` for a stripe with no
-matching rows, but never ``False`` for one that has them.
+matching rows, but never ``False`` for one that has them.  Bounds that
+are absent, non-finite (stale footers from a pre-fix encoder), or
+flagged incomplete by ``has_nan`` refute nothing.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
-from repro.columnar.layout import SegmentMeta, StripeMeta
-from repro.sql.filters import (
-    And,
-    EqualTo,
-    Filter,
-    GreaterThan,
-    GreaterThanOrEqual,
-    In,
-    IsNotNull,
-    IsNull,
-    LessThan,
-    LessThanOrEqual,
-    LikePattern,
-    Not,
-    Or,
-    StringStartsWith,
-)
+from repro.columnar.layout import StripeMeta
+from repro.columnar.stats import ColumnStats, filters_may_match
+from repro.sql.filters import Filter
 from repro.sql.types import Schema
 
 
@@ -39,69 +33,18 @@ def stripe_may_match(
     """Whether any row of the stripe could satisfy every filter."""
     if stripe.rows == 0:
         return False
-    return all(_may_match(item, stripe, schema) for item in filters)
 
-
-def _segment(stripe: StripeMeta, item: Filter, schema: Schema) -> SegmentMeta:
-    attribute = item.attribute  # type: ignore[attr-defined]
-    return stripe.columns[schema.index_of(attribute)]
-
-
-def _prefix_refutes(segment: SegmentMeta, prefix: str) -> bool:
-    """Whether min/max prove no value starts with ``prefix``."""
-    lo, hi = segment.min_value, segment.max_value
-    if not isinstance(lo, str) or not isinstance(hi, str):
-        return False
-    # Matching values sort within [prefix, prefix + <anything>]: every
-    # match m satisfies m >= prefix and m[:len(prefix)] == prefix.
-    return hi < prefix or lo[: len(prefix)] > prefix
-
-
-def _may_match(item: Filter, stripe: StripeMeta, schema: Schema) -> bool:
-    if isinstance(item, And):
-        return _may_match(item.left, stripe, schema) and _may_match(
-            item.right, stripe, schema
+    def resolve(attribute: str) -> Optional[ColumnStats]:
+        try:
+            segment = stripe.columns[schema.index_of(attribute)]
+        except Exception:
+            return None
+        return ColumnStats(
+            rows=stripe.rows,
+            nulls=segment.nulls,
+            min_value=segment.min_value,
+            max_value=segment.max_value,
+            has_nan=segment.has_nan,
         )
-    if isinstance(item, Or):
-        return _may_match(item.left, stripe, schema) or _may_match(
-            item.right, stripe, schema
-        )
-    if isinstance(item, Not):
-        return True  # stats cannot refute a negation conservatively
-    if not hasattr(item, "attribute"):
-        return True
-    try:
-        segment = _segment(stripe, item, schema)
-    except Exception:
-        return True
-    if isinstance(item, IsNull):
-        return segment.nulls > 0
-    # Every other attribute filter rejects NULL, so an all-NULL segment
-    # cannot match (this also covers the min/max-are-None case below).
-    if segment.nulls >= stripe.rows:
-        return False
-    if isinstance(item, IsNotNull):
-        return True
-    lo, hi = segment.min_value, segment.max_value
-    value = getattr(item, "value", None)
-    try:
-        if isinstance(item, EqualTo):
-            return not (value < lo or value > hi)
-        if isinstance(item, GreaterThan):
-            return hi > value
-        if isinstance(item, GreaterThanOrEqual):
-            return hi >= value
-        if isinstance(item, LessThan):
-            return lo < value
-        if isinstance(item, LessThanOrEqual):
-            return lo <= value
-        if isinstance(item, In):
-            return any(not (v < lo or v > hi) for v in value if v is not None)
-        if isinstance(item, StringStartsWith) and isinstance(value, str):
-            return not _prefix_refutes(segment, value)
-        if isinstance(item, LikePattern) and isinstance(value, str):
-            prefix = value.split("%", 1)[0].split("_", 1)[0]
-            return not prefix or not _prefix_refutes(segment, prefix)
-    except TypeError:
-        return True  # incomparable stats prove nothing
-    return True
+
+    return filters_may_match(filters, resolve)

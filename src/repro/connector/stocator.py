@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import logging
+import os
 import threading
 from contextlib import aclosing
 from dataclasses import dataclass, field
@@ -19,8 +20,10 @@ from typing import (
 )
 
 from repro.aio.stream import aowned_lines
+from repro.catalog import ObjectCatalog, decode_catalog
 from repro.columnar.layout import ColumnarFooter, StripeMeta, footer_from_tail
 from repro.core.pushdown import PushdownTask
+from repro.sql.filters import Filter
 from repro.sql.types import Schema
 from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.obs.trace import TRACE_HEADER, Span, get_collector
@@ -217,6 +220,7 @@ class StocatorConnector:
         client: SwiftClient,
         chunk_size: int = 1 * 2**20,
         range_lookahead: int = 8 * 1024,
+        skipping: Optional[bool] = None,
     ):
         if chunk_size <= 0:
             raise ValueError(f"chunk_size must be positive: {chunk_size}")
@@ -242,6 +246,20 @@ class StocatorConnector:
         #: planning demoted to a single split (no silent caps: demotions
         #: are counted here and in ``connector.splits_demoted``).
         self.demoted_objects: List[Tuple[str, str, str]] = []
+        # Object-level data-skipping catalog: ``skipping=None`` defers
+        # to the REPRO_SKIPPING env var; True/False force it.
+        if skipping is None:
+            skipping = os.environ.get("REPRO_SKIPPING", "") not in ("", "0")
+        self.skipping = bool(skipping)
+        #: Catalog entries decoded from discovery HEAD responses, keyed
+        #: by ``(container, name)``; ``None`` = no (usable) entry.
+        #: Populated even with skipping off, so flipping the knob after
+        #: discovery still works and the cost stays zero either way.
+        self._catalog_cache: Dict[Tuple[str, str], Optional[ObjectCatalog]] = {}
+        #: ``(container, name)`` for every whole object the catalog
+        #: refuted for some query -- skipped with zero GETs (also
+        #: counted in ``connector.objects_catalog_skipped``).
+        self.catalog_skipped: List[Tuple[str, str]] = []
 
     # -- partition discovery ---------------------------------------------
 
@@ -275,6 +293,10 @@ class StocatorConnector:
         index = 0
         for name in self.client.list_objects(container, prefix=prefix):
             headers = self.client.head_object(container, name)
+            # The data-skipping catalog rides the discovery HEAD we just
+            # paid for: cache the decoded entry so per-query consults
+            # cost zero additional requests.
+            self._catalog_cache[(container, name)] = decode_catalog(headers)
             raw_size = headers.get("content-length")
             if raw_size is None:
                 reason = "missing-content-length"
@@ -389,6 +411,8 @@ class StocatorConnector:
         index = 0
         for name in self.client.list_objects(container, prefix=prefix):
             headers = self.client.head_object(container, name)
+            # Same zero-extra-request catalog caching as the row path.
+            self._catalog_cache[(container, name)] = decode_catalog(headers)
             raw_size = headers.get("content-length")
             if raw_size is None:
                 reason = "missing-content-length"
@@ -445,6 +469,58 @@ class StocatorConnector:
             schema=schema,
             stripes=tuple(group),
         )
+
+    # -- object-level data skipping ----------------------------------------
+
+    def object_catalog(
+        self, container: str, name: str
+    ) -> Optional[ObjectCatalog]:
+        """The cached catalog entry of one discovered object, if any."""
+        return self._catalog_cache.get((container, name))
+
+    def catalog_filter_splits(self, splits, filters: Sequence[Filter]):
+        """Drop every split of every object the catalog refutes.
+
+        Called per query (at scan-build time, when the filter
+        conjunction is finally known) with the splits discovery
+        produced; accepts both :class:`ObjectSplit` and
+        :class:`ColumnarSplit` sequences.  Consults only the entries
+        cached from discovery HEADs, so a skipped object costs **zero
+        GETs** -- and an object without a usable entry (absent,
+        unparseable, version-mismatched) is never skipped.  Skips are
+        recorded in :attr:`catalog_skipped` and the
+        ``connector.objects_catalog_skipped`` registry counter.
+
+        Sound because the executor re-applies the plan's filter nodes
+        over scan rows and the shared refutation
+        (:mod:`repro.columnar.stats`) never refutes an object holding a
+        matching row: dropping a provably matching-row-free object
+        cannot change query results.
+        """
+        if not self.skipping or not filters:
+            return list(splits)
+        registry = self.metrics.registry or get_registry()
+        verdicts: Dict[Tuple[str, str], bool] = {}
+        kept = []
+        for item in splits:
+            split = getattr(item, "split", item)
+            key = (split.container, split.name)
+            if key not in verdicts:
+                catalog = self._catalog_cache.get(key)
+                may = catalog is None or catalog.may_match(filters)
+                verdicts[key] = may
+                if not may:
+                    self.catalog_skipped.append(key)
+                    registry.inc("connector.objects_catalog_skipped")
+                    logger.info(
+                        "catalog refuted /%s/%s for this query: "
+                        "skipping the whole object (0 GETs)",
+                        key[0],
+                        key[1],
+                    )
+            if verdicts[key]:
+                kept.append(item)
+        return kept
 
     # -- segment-granular reads --------------------------------------------
 

@@ -61,6 +61,9 @@ class QueryRunReport:
     #: Pushdown reads that had to degrade to plain GETs after a runtime
     #: storlet failure (zero on a healthy cluster).
     pushdown_fallbacks: int = 0
+    #: Whole objects the data-skipping catalog refuted for this query --
+    #: each one is zero GETs (zero unless ``skipping`` is armed).
+    objects_skipped: int = 0
 
     @property
     def data_selectivity(self) -> float:
@@ -94,6 +97,7 @@ class ScoopContext:
         tenant: Optional[str] = None,
         sleeper: Optional[Callable[[float], None]] = None,
         async_mode: Optional[bool] = None,
+        skipping: Optional[bool] = None,
     ):
         # Scheduler pool size: how many partition tasks run at once.
         # Defaults to the REPRO_PARALLELISM env var (CI runs the whole
@@ -138,7 +142,12 @@ class ScoopContext:
             tenant=tenant,
             sleeper=sleeper,
         )
-        self.connector = StocatorConnector(self.client, chunk_size=chunk_size)
+        # Object-level data skipping: ``skipping=None`` defers to the
+        # REPRO_SKIPPING env var (the CI skipping job runs the whole
+        # suite with the catalog armed); True/False force it.
+        self.connector = StocatorConnector(
+            self.client, chunk_size=chunk_size, skipping=skipping
+        )
         # Pin the connector's mirror target so this context's boundary
         # counters survive a later context replacing the global registry.
         self.connector.metrics.registry = self.registry
@@ -424,6 +433,7 @@ class ScoopContext:
             metrics.pushdown_requests,
             metrics.pushdown_fallbacks,
         )
+        skipped_before = len(self.connector.catalog_skipped)
         frame = self.session.sql(text)
         rows = frame.collect()
         report = QueryRunReport(
@@ -433,6 +443,9 @@ class ScoopContext:
             requests=metrics.requests - before[0],
             pushdown_requests=metrics.pushdown_requests - before[3],
             pushdown_fallbacks=metrics.pushdown_fallbacks - before[4],
+            objects_skipped=(
+                len(self.connector.catalog_skipped) - skipped_before
+            ),
         )
         self._last_report = report
         return frame, report
@@ -590,6 +603,11 @@ class ScoopContext:
             exhaustion counts.
         ``skipped_objects``
             Partitioning skips: ``(container, object, reason)``.
+        ``catalog``
+            Object-level data skipping: whether the knob is armed,
+            how many whole objects the catalog refuted so far (each one
+            zero GETs), and which (``skipped`` lists
+            ``(container, object)``).
         """
         if report is None:
             report = self._last_report
@@ -626,6 +644,11 @@ class ScoopContext:
                 "exhausted": stats.exhausted,
             },
             "skipped_objects": list(self.connector.skipped_objects),
+            "catalog": {
+                "enabled": self.connector.skipping,
+                "objects_skipped": len(self.connector.catalog_skipped),
+                "skipped": list(self.connector.catalog_skipped),
+            },
         }
         if self.fault_plan is not None:
             profile["faults_injected"] = self.fault_plan.fired()

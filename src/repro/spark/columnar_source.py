@@ -463,6 +463,12 @@ class ColumnarRelation(PrunedFilteredScan):
     ) -> RDD:
         columns = list(required_columns) or self._schema.names
         output_schema = self._schema.select(columns)
+        # Object-level data skipping (see CsvRelation): whole objects
+        # the cached catalog refutes are dropped before stripe pruning
+        # even looks at them -- zero GETs, zero footer work.
+        splits = self.connector.catalog_filter_splits(
+            self._splits, list(filters)
+        )
         task: Optional[PushdownTask] = None
         if self.pushdown:
             task = PushdownTask(
@@ -483,7 +489,7 @@ class ColumnarRelation(PrunedFilteredScan):
         return ColumnarScanRDD(
             self.context,
             self.connector,
-            self._splits,
+            splits,
             output_schema,
             self._schema,
             task,

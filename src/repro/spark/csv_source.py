@@ -353,6 +353,13 @@ class CsvRelation(PrunedFilteredScan):
     ) -> RDD:
         columns = list(required_columns) or self._schema.names
         output_schema = self._schema.select(columns)
+        # Object-level data skipping: now that the query's filter
+        # conjunction is known, drop every split of every object whose
+        # cached catalog entry refutes it -- zero GETs for those
+        # objects.  No-op unless the connector's skipping knob is armed.
+        splits = self.connector.catalog_filter_splits(
+            self._splits, list(filters)
+        )
         task: Optional[PushdownTask] = None
         if self.pushdown:
             task = PushdownTask(
@@ -374,7 +381,7 @@ class CsvRelation(PrunedFilteredScan):
         return CsvScanRDD(
             self.context,
             self.connector,
-            self._splits,
+            splits,
             output_schema,
             self._schema,
             task,

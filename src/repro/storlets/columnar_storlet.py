@@ -23,6 +23,7 @@ from __future__ import annotations
 import json
 from typing import Dict, Iterator, List, Tuple
 
+from repro.catalog import CatalogBuilder
 from repro.columnar.batch import ColumnBatch
 from repro.columnar.layout import (
     DEFAULT_STRIPE_ROWS,
@@ -254,6 +255,10 @@ class CsvToColumnarStorlet(IStorlet):
             else None
         )
         counters = {"kept": 0, "dropped": 0}
+        # The data-skipping catalog is computed over exactly the rows
+        # that make it into the stored object, so a later skip decision
+        # can never disagree with the bytes on disk.
+        catalog = CatalogBuilder(schema)
 
         def typed_rows() -> Iterator[Tuple]:
             first = True
@@ -280,6 +285,7 @@ class CsvToColumnarStorlet(IStorlet):
                     )
                     continue
                 counters["kept"] += 1
+                catalog.observe(row)
                 yield row
 
         yield from encode_stream(schema, typed_rows(), stripe_rows, stripe_bytes)
@@ -290,6 +296,7 @@ class CsvToColumnarStorlet(IStorlet):
                 "x-object-meta-columnar-format": "RCF1",
             }
         )
+        metadata.update(catalog.to_metadata())
         logger.emit(
             f"csv2columnar: {counters['kept']} rows encoded, "
             f"{counters['dropped']} dropped"

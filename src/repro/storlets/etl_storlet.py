@@ -12,6 +12,7 @@ from __future__ import annotations
 import json
 from typing import Dict, Iterator, List, Optional
 
+from repro.catalog import CatalogBuilder
 from repro.sql.types import Schema
 from repro.storlets.api import (
     IStorlet,
@@ -66,6 +67,9 @@ class CleansingStorlet(IStorlet):
         has_header = parameters.get("has_header", "false").lower() == "true"
 
         counters = {"kept": 0, "dropped": 0}
+        # Per-object skipping stats over the typed image of exactly the
+        # records kept, so the catalog always describes the stored CSV.
+        catalog = CatalogBuilder(schema)
 
         def output_lines() -> Iterator[bytes]:
             first = True
@@ -85,10 +89,11 @@ class CleansingStorlet(IStorlet):
                     counters["dropped"] += 1
                     continue
                 try:
-                    schema.parse_row(fields)
+                    typed = schema.parse_row(fields)
                 except (ValueError, TypeError):
                     counters["dropped"] += 1
                     continue
+                catalog.observe(typed)
                 yield _render_record(fields, delimiter)
                 counters["kept"] += 1
 
@@ -103,6 +108,7 @@ class CleansingStorlet(IStorlet):
                 "x-object-meta-etl-dropped": str(counters["dropped"]),
             }
         )
+        metadata.update(catalog.to_metadata())
 
 
 class ColumnSplitStorlet(IStorlet):

@@ -6,6 +6,8 @@ always the same: whatever ``encode_*`` produced, ``decode_*`` returns
 the original rows, bit for bit.
 """
 
+import math
+
 import pytest
 from hypothesis import given, settings, strategies as st
 
@@ -139,11 +141,19 @@ class TestSegmentRoundTrip:
     )
     def test_segment_round_trips(self, dtype, data):
         values = data.draw(st.lists(_VALUES[dtype], max_size=30))
-        encoded, nulls, mn, mx = encode_segment(values, dtype)
+        encoded, nulls, mn, mx, has_nan = encode_segment(values, dtype)
         assert nulls == sum(1 for v in values if v is None)
         non_null = [v for v in values if v is not None]
-        if non_null and dtype is not DataType.FLOAT:
-            assert mn == min(non_null) and mx == max(non_null)
+        finite = [
+            v
+            for v in non_null
+            if not (isinstance(v, float) and not math.isfinite(v))
+        ]
+        assert has_nan == (len(finite) < len(non_null))
+        if finite:
+            assert mn == min(finite) and mx == max(finite)
+        else:
+            assert mn is None and mx is None
         decoded = decode_segment(encoded, dtype, len(values))
         if dtype is DataType.FLOAT:
             decoded = [None if v is None else float(v) for v in decoded]
