@@ -262,6 +262,17 @@ def _add_resilience_options(parser: argparse.ArgumentParser) -> None:
             "results are identical either way (docs/skipping.md)"
         ),
     )
+    parser.add_argument(
+        "--placement",
+        choices=("adaptive", "object", "proxy", "compute"),
+        default=None,
+        help=(
+            "cost-based pushdown placement (also: REPRO_PLACEMENT): "
+            "adaptive picks the cheapest tier per query from the "
+            "calibrated cost model, the fixed choices pin it; unset "
+            "keeps the relation's run_on knob (docs/placement.md)"
+        ),
+    )
     group = parser.add_argument_group("resilience")
     group.add_argument(
         "--retries",
@@ -366,6 +377,8 @@ def _resilience_context(args, **context_kwargs):
         async_mode=True if getattr(args, "async_mode", False) else None,
         # Same pattern for --skipping and REPRO_SKIPPING.
         skipping=True if getattr(args, "skipping", False) else None,
+        # And for --placement and REPRO_PLACEMENT (None = engine off).
+        placement=getattr(args, "placement", None),
         **context_kwargs,
     )
 

@@ -29,14 +29,16 @@ from repro.sql.catalyst import (
     split_conjuncts,
 )
 from repro.sql.errors import SqlAnalysisError
-from repro.sql.executor import infer_type
+from repro.sql.executor import _aggregate_type, _NullsFirst, _NullsLast, infer_type
 from repro.sql.expressions import Aggregate, Column, Expression, Star
 from repro.sql.filters import Filter, filters_to_json
 from repro.sql.parser import Query, parse_query
 from repro.sql.types import DataType, Field, Row, Schema
 from repro.storlets.agg_storlet import (
+    DEFAULT_MAX_GROUPS,
     MERGEABLE_AGGREGATES,
     AggregationSpec,
+    _PartialState,
     merge_partials,
 )
 from repro.storlets.csv_storlet import _owned_lines, _parse_record
@@ -59,15 +61,26 @@ class AggregationPlan:
 
 
 def plan_aggregation_pushdown(
-    query: Query, schema: Schema
+    query: Query, schema: Schema, exact_types: bool = False
 ) -> Optional[AggregationPlan]:
     """Compile ``query`` for aggregation pushdown, or None if it is not
-    fully mergeable (the caller then falls back to filter pushdown)."""
+    fully mergeable (the caller then falls back to filter pushdown).
+
+    With ``exact_types`` the output schema uses the executor's own
+    aggregate result types (``SUM`` over INT stays INT) instead of the
+    legacy text-partial types -- the integrated scheduler path sets this
+    so merged results match the compute-side oracle's schema exactly.
+    """
     if not query.group_by and not any(
         item.expression.contains_aggregate() for item in query.items
     ):
         return None
     if query.distinct:
+        return None
+    if query.having is not None:
+        # HAVING filters *merged* groups; a storlet sees only its own
+        # byte range, so applying it there would drop groups that
+        # survive globally.  Not mergeable.
         return None
 
     # WHERE must convert entirely to source filters.
@@ -93,6 +106,19 @@ def plan_aggregation_pushdown(
                 return None
             if expression.distinct:
                 return None
+            if exact_types and expression.name in ("sum", "avg") and (
+                not isinstance(expression.arg, Star)
+            ):
+                # Float addition is not associative: per-partition
+                # partial sums group the additions differently from the
+                # oracle's sequential left-to-right accumulation, so the
+                # merged total can drift in the last ulp.  Exact (INT)
+                # inputs merge bit-identically; FLOAT sums stay
+                # compute-side on the byte-identical scheduler path
+                # (``exact_types``).  The legacy standalone API keeps
+                # them: its contract is approximate, not bit-exact.
+                if infer_type(expression.arg, schema) is DataType.FLOAT:
+                    return None
             if expression not in aggregates:
                 aggregates.append(expression)
             output_positions.append(key_count + aggregates.index(expression))
@@ -117,6 +143,8 @@ def plan_aggregation_pushdown(
     for item, position in zip(query.items, output_positions):
         if position < key_count:
             dtype = key_types[position]
+        elif exact_types:
+            dtype = _aggregate_type(aggregates[position - key_count], schema)
         else:
             dtype = _merged_type(aggregates[position - key_count], schema)
         output_fields.append(Field(item.output_name, dtype))
@@ -288,3 +316,115 @@ def run_aggregation_query(
         )
     runner = AggregationPushdownRunner(connector, schema, has_header)
     return runner.run(plan, container, prefix)
+
+
+# --------------------------------------------------------------------------
+# v2 tagged protocol: typed partials + spill-to-compute raw rows
+# --------------------------------------------------------------------------
+
+
+def merge_tagged_records(
+    plan: AggregationPlan, records, schema: Schema
+) -> Tuple[Schema, List[Row]]:
+    """Merge a v2 tagged record stream into final, ordered result rows.
+
+    ``records`` is the partition-ordered stream an
+    :class:`~repro.spark.agg_source.AggregationScanRDD` yields through
+    the scheduler: ``("p", split, first_ordinal, key, states)`` typed
+    partial groups and ``("r", split, ordinal, row)`` rows the bounded
+    storlet hash table spilled to the compute side.  Spilled rows are
+    folded through the same expression bindings the storlet used, so a
+    group is aggregated identically wherever its rows were seen.
+
+    Output-row order reproduces the compute-side oracle's: each group
+    records the earliest ``(split, ordinal)`` that saw it, and groups
+    are emitted sorted by that creation point -- exactly the oracle's
+    first-seen order over the globally ordered row stream -- before
+    ORDER BY (executor NULL semantics: last in both directions) and
+    LIMIT apply.
+    """
+    key_evals, input_evals = plan.spec.bind(schema)
+    groups: dict = {}
+    creation: dict = {}
+    for record in records:
+        tag = record[0]
+        if tag == "p":
+            _tag, split, ordinal, key, states = record
+            key = tuple(key)
+            state = groups.get(key)
+            if state is None:
+                state = _PartialState(plan.spec)
+                groups[key] = state
+                creation[key] = (split, ordinal)
+            else:
+                creation[key] = min(creation[key], (split, ordinal))
+            state.merge_typed(states)
+        elif tag == "r":
+            _tag, split, ordinal, raw = record
+            row = tuple(raw)
+            key = tuple(evaluate(row) for evaluate in key_evals)
+            state = groups.get(key)
+            if state is None:
+                state = _PartialState(plan.spec)
+                groups[key] = state
+                creation[key] = (split, ordinal)
+            else:
+                creation[key] = min(creation[key], (split, ordinal))
+            state.add([evaluate(row) for evaluate in input_evals])
+        else:
+            raise ValueError(f"unknown tagged record kind {tag!r}")
+
+    if not groups and not plan.spec.group_by:
+        # Global aggregate over empty input still yields one row, same
+        # as the executor's _finalize_groups.
+        groups[()] = _PartialState(plan.spec)
+        creation[()] = (0, 0)
+
+    ordered_keys = sorted(groups, key=creation.__getitem__)
+    full_rows = [
+        key + tuple(groups[key].typed_results()) for key in ordered_keys
+    ]
+    rows = [
+        tuple(full_row[position] for position in plan.output_positions)
+        for full_row in full_rows
+    ]
+    if plan.order_by:
+        pairs = list(zip(full_rows, rows))
+        for position, ascending in reversed(plan.order_by):
+            if ascending:
+                pairs.sort(
+                    key=lambda pair: _NullsLast(pair[0][position])
+                )
+            else:
+                pairs.sort(
+                    key=lambda pair: _NullsFirst(pair[0][position]),
+                    reverse=True,
+                )
+        rows = [row for _full, row in pairs]
+    if plan.limit is not None:
+        rows = rows[: plan.limit]
+    return plan.output_schema, rows
+
+
+def decode_tagged_line(raw_line: bytes, split_index: int):
+    """Decode one storlet v2 JSON line into a scheduler record.
+
+    The storlet does not know which split it served, so the split index
+    is stamped here -- it is what makes group creation points globally
+    ordered across partitions.
+    """
+    import json as _json
+
+    payload = _json.loads(raw_line)
+    tag = payload[0]
+    if tag == "r":
+        return ("r", split_index, payload[1], tuple(payload[2]))
+    if tag == "p":
+        return (
+            "p",
+            split_index,
+            payload[1],
+            tuple(payload[2]),
+            tuple(tuple(part) for part in payload[3]),
+        )
+    raise ValueError(f"unknown tagged record kind {tag!r}")

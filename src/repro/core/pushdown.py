@@ -41,10 +41,19 @@ class PushdownTask:
     #: Storlet-specific parameters merged verbatim into the request
     #: (the columnar storlet's per-split stripe descriptors travel here).
     extra_parameters: Dict[str, str] = field(default_factory=dict)
+    #: Partial GROUP-BY aggregation to run at the store: the serialized
+    #: :class:`~repro.storlets.agg_storlet.AggregationSpec` (v2 tagged
+    #: protocol).  The store returns typed partial group states instead
+    #: of rows -- usually orders of magnitude fewer bytes than even
+    #: filter pushdown.
+    aggregation: Optional[str] = None
+    #: Bound on the storlet-side group hash table; groups beyond it
+    #: spill their rows to the compute side (None = storlet default).
+    max_groups: Optional[int] = None
 
     def is_noop(self) -> bool:
         """True when the task would not reduce the transfer at all."""
-        if self.compress:
+        if self.compress or self.aggregation is not None:
             return False
         return not self.filters and (
             self.columns is None or len(self.columns) == len(self.schema)
@@ -72,6 +81,11 @@ class PushdownTask:
             parameters["columns"] = json.dumps(self.columns)
         if self.filters:
             parameters["filters"] = filters_to_json(self.filters)
+        if self.aggregation is not None:
+            parameters["aggregation"] = self.aggregation
+            parameters["partials"] = "json"
+            if self.max_groups is not None:
+                parameters["max_groups"] = str(self.max_groups)
         parameters.update(self.extra_parameters)
         return parameters
 
@@ -99,6 +113,9 @@ class PushdownTask:
         filters: List[Filter] = []
         if "filters" in parameters:
             filters = filters_from_json(parameters["filters"])
+        max_groups = None
+        if "max_groups" in parameters:
+            max_groups = int(parameters["max_groups"])
         return cls(
             schema=schema,
             columns=columns,
@@ -108,6 +125,8 @@ class PushdownTask:
             storlet=storlet,
             run_on=run_on,
             compress=compress,
+            aggregation=parameters.get("aggregation"),
+            max_groups=max_groups,
         )
 
     @classmethod

@@ -28,6 +28,7 @@ from repro.core.delegator import AnalyticsDelegator
 from repro.core.policies import AdaptivePushdownController
 from repro.obs.metrics import MetricsRegistry, set_registry
 from repro.obs.trace import TraceCollector, set_collector
+from repro.placement.engine import engine_from_environment
 from repro.spark.csv_source import CsvRelation
 from repro.spark.dataframe import DataFrame
 from repro.spark.scheduler import SparkContext, default_execution_mode
@@ -98,6 +99,7 @@ class ScoopContext:
         sleeper: Optional[Callable[[float], None]] = None,
         async_mode: Optional[bool] = None,
         skipping: Optional[bool] = None,
+        placement: Optional[str] = None,
     ):
         # Scheduler pool size: how many partition tasks run at once.
         # Defaults to the REPRO_PARALLELISM env var (CI runs the whole
@@ -179,6 +181,13 @@ class ScoopContext:
         self.controller = controller
         self.delegator = AnalyticsDelegator(controller)
         self._last_report: Optional[QueryRunReport] = None
+        # Cost-based placement (docs/placement.md): ``placement=None``
+        # defers to the REPRO_PLACEMENT env var; when neither is set the
+        # engine stays off and the fixed ``run_on`` knob keeps
+        # governing, exactly as before.  With an engine installed,
+        # registered relations consult it per query and ``run_query``
+        # feeds actual byte counts back into its estimates.
+        self.placement = engine_from_environment(placement)
 
         # Table format resolution: ``REPRO_FORMAT=columnar`` makes
         # :meth:`register_csv_table` convert uploaded CSV to RCF1 and
@@ -334,6 +343,7 @@ class ScoopContext:
         tenant: str = "default",
         adaptive: bool = False,
         format: Optional[str] = None,
+        agg_pushdown: Optional[bool] = None,
     ):
         """Register CSV data as a SQL table.
 
@@ -379,6 +389,8 @@ class ScoopContext:
             compress_transfer=compress_transfer,
             controller=self.controller if adaptive else None,
             tenant=tenant,
+            placement=self.placement,
+            agg_pushdown=agg_pushdown,
         )
         self.session.register_table(table, relation)
         return relation
@@ -408,6 +420,7 @@ class ScoopContext:
             compress_transfer=compress_transfer,
             controller=self.controller if adaptive else None,
             tenant=tenant,
+            placement=self.placement,
         )
         self.session.register_table(table, relation)
         return relation
@@ -448,6 +461,13 @@ class ScoopContext:
             ),
         )
         self._last_report = report
+        if self.placement is not None:
+            # Close the feedback loop: the actual kept fraction of this
+            # run refines the engine's estimate for the same query shape
+            # (no-op when no placement decision was taken for it).
+            self.placement.observe_report(
+                report.bytes_requested, report.bytes_transferred
+            )
         return frame, report
 
     def run_aggregation_query(
@@ -650,6 +670,8 @@ class ScoopContext:
                 "skipped": list(self.connector.catalog_skipped),
             },
         }
+        if self.placement is not None:
+            profile["placement"] = self.placement.explain()
         if self.fault_plan is not None:
             profile["faults_injected"] = self.fault_plan.fired()
         return profile

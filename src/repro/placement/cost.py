@@ -1,0 +1,137 @@
+"""The placement cost model: per-tier duration estimates.
+
+Each candidate tier maps onto one of the calibrated perfmodel replay
+modes -- running the storlet on the object nodes is the paper's
+``pushdown`` process shape, staging it at the proxies is the
+``pushdown_proxy`` ablation (Section VI-B), and keeping the work
+compute-side is classic ``plain`` ingest-then-compute.  Estimating a
+tier therefore reuses :class:`~repro.perfmodel.model.IngestSimulation`
+verbatim: the same flow network, the same calibrated scan/parse/relay
+rates, the same wave arithmetic.  What this module adds is the query
+shape: the estimated kept fraction (from catalog stats, planner hints,
+or the feedback loop) and whether the task filters rows, projects
+columns, or partially aggregates.
+
+Simulation replays are deterministic, so estimates are memoized on a
+coarsened key (tier, bytes bucket, kept rounded to 1%, shape flags) --
+repeated decisions over the same table cost one dict lookup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.perfmodel.model import IngestSimulation, SelectivityProfile
+from repro.perfmodel.parameters import PerfParameters
+
+#: Candidate tiers in preference order: ties break toward the deepest
+#: pushdown (the paper's default posture).
+TIERS = ("object", "proxy", "compute")
+
+#: Tier -> perfmodel replay mode.
+TIER_MODES = {
+    "object": "pushdown",
+    "proxy": "pushdown_proxy",
+    "compute": "plain",
+}
+
+#: How much of the filtered bytes a partial GROUP-BY aggregation keeps:
+#: group states are typically orders of magnitude smaller than even a
+#: well-filtered row stream.  Deliberately conservative (high) so the
+#: model never *over*-promises aggregation savings.
+AGGREGATION_KEPT_FACTOR = 0.05
+
+
+@dataclass(frozen=True)
+class TierEstimate:
+    """The cost model's verdict for one candidate tier."""
+
+    #: Candidate tier: ``object`` | ``proxy`` | ``compute``.
+    tier: str
+    #: The perfmodel replay mode the tier mapped onto.
+    mode: str
+    #: Estimated query duration in (simulated) seconds.
+    duration: float
+    #: Estimated bytes crossing the storage/compute interconnect.
+    bytes_over_interconnect: float
+
+
+class PlacementCostModel:
+    """Estimate per-tier durations for one query over one dataset."""
+
+    def __init__(self, params: Optional[PerfParameters] = None):
+        self.simulation = IngestSimulation(params)
+        self._memo: Dict[Tuple, TierEstimate] = {}
+
+    def estimate(
+        self,
+        tier: str,
+        input_bytes: float,
+        kept_fraction: float,
+        row_filtering: bool = False,
+        column_projection: bool = False,
+        aggregation: bool = False,
+    ) -> TierEstimate:
+        """Estimate running the query with its pushdown work on ``tier``.
+
+        ``kept_fraction`` is the estimated fraction of the scanned bytes
+        the filters + projection keep; aggregation shrinks it further by
+        :data:`AGGREGATION_KEPT_FACTOR` on the pushdown tiers (partials
+        travel instead of rows).  ``compute`` ignores the fraction: the
+        whole dataset crosses the wire, by definition.
+        """
+        if tier not in TIER_MODES:
+            raise ValueError(f"tier must be one of {TIERS}: {tier!r}")
+        kept = min(1.0, max(0.0, kept_fraction))
+        if aggregation:
+            kept *= AGGREGATION_KEPT_FACTOR
+        key = (
+            tier,
+            round(float(input_bytes), -3),
+            round(kept, 2),
+            row_filtering,
+            column_projection or aggregation,
+        )
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        mode = TIER_MODES[tier]
+        profile = SelectivityProfile(
+            data_selectivity=1.0 - kept,
+            row_filtering=row_filtering,
+            # Aggregation prunes output like a projection does: the
+            # storlet re-encodes a narrower stream rather than slicing
+            # ranges out of each record.
+            column_projection=column_projection or aggregation,
+        )
+        result = self.simulation.run(mode, float(input_bytes), profile)
+        estimate = TierEstimate(
+            tier=tier,
+            mode=mode,
+            duration=result.duration,
+            bytes_over_interconnect=result.bytes_over_lb,
+        )
+        self._memo[key] = estimate
+        return estimate
+
+    def estimate_all(
+        self,
+        input_bytes: float,
+        kept_fraction: float,
+        row_filtering: bool = False,
+        column_projection: bool = False,
+        aggregation: bool = False,
+    ) -> Dict[str, TierEstimate]:
+        """Estimate every candidate tier; keys follow :data:`TIERS`."""
+        return {
+            tier: self.estimate(
+                tier,
+                input_bytes,
+                kept_fraction,
+                row_filtering=row_filtering,
+                column_projection=column_projection,
+                aggregation=aggregation,
+            )
+            for tier in TIERS
+        }

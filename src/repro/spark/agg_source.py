@@ -1,0 +1,202 @@
+"""The aggregation scan RDD: GROUP BY partials through the scheduler.
+
+The legacy :class:`~repro.core.agg_pushdown.AggregationPushdownRunner`
+looped over splits serially outside the scheduler; this RDD puts the
+same storlet work on the normal partition-task path, so aggregation
+pushdown inherits everything scans already have: bounded thread pools,
+the async event loop, task retry with mid-stream resume, and graceful
+degradation to compute-side work when a storlet fails at runtime.
+
+Each partition yields *tagged records* (not rows): typed partial group
+states and spill-to-compute raw rows, in the deterministic order
+:func:`~repro.storlets.agg_storlet.tagged_partial_aggregate` defines.
+The session merges the partition-ordered record stream with
+:func:`~repro.core.agg_pushdown.merge_tagged_records`.
+
+Degradation reuses :class:`~repro.spark.csv_source.CsvScanRDD`'s plain
+row reader (filters applied compute-side) and runs the *same* bounded
+partial-aggregation generator over it, so the fallback record stream is
+identical to the pushdown stream by construction -- which is what makes
+the scheduler's skip-``emitted`` resume arithmetic sound here too.
+"""
+
+from __future__ import annotations
+
+from contextlib import aclosing
+from typing import AsyncIterator, Iterator, List
+
+from repro.connector.stocator import (
+    ObjectSplit,
+    PushdownError,
+    StocatorConnector,
+)
+from repro.core.agg_pushdown import AggregationPlan, decode_tagged_line
+from repro.core.pushdown import PushdownTask
+from repro.obs.trace import get_collector
+from repro.sql.types import Schema
+from repro.spark.csv_source import CsvScanRDD
+from repro.spark.rdd import RDD
+from repro.storlets.agg_storlet import (
+    DEFAULT_MAX_GROUPS,
+    tagged_partial_aggregate,
+)
+from repro.storlets.api import StorletInputStream
+from repro.storlets.csv_storlet import _owned_lines
+from repro.aio.stream import aowned_lines
+
+
+class AggregationScanRDD(RDD):
+    """One partition per object split; yields v2 tagged agg records."""
+
+    def __init__(
+        self,
+        context,
+        connector: StocatorConnector,
+        splits: List[ObjectSplit],
+        plan: AggregationPlan,
+        full_schema: Schema,
+        task: PushdownTask,
+        has_header: bool,
+        delimiter: str,
+        max_groups: int = DEFAULT_MAX_GROUPS,
+    ):
+        super().__init__(context)
+        self.name = "AggregationScan"
+        self.connector = connector
+        self.splits = splits
+        self.plan = plan
+        self.full_schema = full_schema
+        self.task = task
+        self.has_header = has_header
+        self.delimiter = delimiter
+        self.max_groups = max_groups
+        # The degradation twin: a plain CSV scan over the same splits
+        # with the task's filters applied compute-side.  Reusing
+        # CsvScanRDD's line mapper keeps the fallback's typed filtered
+        # row stream single-sourced with every other degradation path.
+        self._fallback = CsvScanRDD(
+            context,
+            connector,
+            splits,
+            full_schema,
+            full_schema,
+            task,
+            has_header,
+            delimiter,
+        )
+
+    def num_partitions(self) -> int:
+        return len(self.splits)
+
+    def compute(self, split_index: int) -> Iterator[tuple]:
+        split = self.splits[split_index]
+        emitted = 0
+        try:
+            for record in self._pushdown_records(split):
+                emitted += 1
+                yield record
+            return
+        except PushdownError as error:
+            if not error.degradable:
+                raise
+            degrade_reason = error.reason
+        self.connector.metrics.record_fallback()
+        get_collector().record_event(
+            "connector",
+            "agg_pushdown_degraded",
+            split_index=split.index,
+            reason=degrade_reason,
+            records_before_failure=emitted,
+        )
+        skipped = 0
+        for record in self._fallback_records(split):
+            if skipped < emitted:
+                skipped += 1
+                continue
+            yield record
+
+    async def acompute(self, split_index: int) -> AsyncIterator[tuple]:
+        """Coroutine twin of :meth:`compute`, same degradation contract."""
+        if self.connector.async_client is None:
+            for record in self.compute(split_index):
+                yield record
+            return
+        split = self.splits[split_index]
+        emitted = 0
+        try:
+            async with aclosing(self._apushdown_records(split)) as records:
+                async for record in records:
+                    emitted += 1
+                    yield record
+            return
+        except PushdownError as error:
+            if not error.degradable:
+                raise
+            degrade_reason = error.reason
+        self.connector.metrics.record_fallback()
+        get_collector().record_event(
+            "connector",
+            "agg_pushdown_degraded",
+            split_index=split.index,
+            reason=degrade_reason,
+            records_before_failure=emitted,
+        )
+        skipped = 0
+        async with aclosing(self._afallback_records(split)) as records:
+            async for record in records:
+                if skipped < emitted:
+                    skipped += 1
+                    continue
+                yield record
+
+    # -- pushdown: the storlet streams tagged JSON lines -------------------
+
+    def _pushdown_records(self, split: ObjectSplit) -> Iterator[tuple]:
+        _headers, chunks = self.connector.open_split_stream(split, self.task)
+        for raw_line in _owned_lines(StorletInputStream(chunks), 0, None):
+            if raw_line.strip():
+                yield decode_tagged_line(raw_line, split.index)
+
+    async def _apushdown_records(
+        self, split: ObjectSplit
+    ) -> AsyncIterator[tuple]:
+        _headers, chunks = await self.connector.aopen_split_stream(
+            split, self.task
+        )
+        async with aclosing(aowned_lines(chunks, 0, None)) as lines:
+            async for raw_line in lines:
+                if raw_line.strip():
+                    yield decode_tagged_line(raw_line, split.index)
+
+    # -- degradation: same aggregation, computed from plain reads ----------
+
+    def _fallback_records(self, split: ObjectSplit) -> Iterator[tuple]:
+        rows = self._fallback._plain_rows(split, apply_task_filters=True)
+        for record in tagged_partial_aggregate(
+            rows, self.plan.spec, self.full_schema, max_groups=self.max_groups
+        ):
+            yield self._stamp(record, split.index)
+
+    async def _afallback_records(
+        self, split: ObjectSplit
+    ) -> AsyncIterator[tuple]:
+        # The bounded hash aggregation must see the full row stream
+        # before emitting partials anyway, so the async fallback drains
+        # the plain rows through the coroutine reader first and runs the
+        # (pure-CPU) generator inline on the loop.
+        rows: List[tuple] = []
+        async with aclosing(
+            self._fallback._aplain_rows(split, apply_task_filters=True)
+        ) as plain:
+            async for row in plain:
+                rows.append(row)
+        for record in tagged_partial_aggregate(
+            rows, self.plan.spec, self.full_schema, max_groups=self.max_groups
+        ):
+            yield self._stamp(record, split.index)
+
+    @staticmethod
+    def _stamp(record: tuple, split_index: int) -> tuple:
+        """Insert the split index after the tag, matching the decoded
+        wire records."""
+        return (record[0], split_index, *record[1:])

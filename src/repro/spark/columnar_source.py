@@ -50,6 +50,7 @@ from repro.connector.stocator import (
 )
 from repro.core.pushdown import PushdownTask
 from repro.obs.trace import get_collector
+from repro.placement.engine import task_signature
 from repro.spark.batch import DEFAULT_BATCH_ROWS, batched
 from repro.spark.csv_source import _decompress_chunks
 from repro.spark.datasources import PrunedFilteredScan
@@ -423,6 +424,7 @@ class ColumnarRelation(PrunedFilteredScan):
         compress_transfer: bool = False,
         controller=None,
         tenant: str = "default",
+        placement=None,
     ):
         self.context = context
         self.connector = connector
@@ -434,6 +436,10 @@ class ColumnarRelation(PrunedFilteredScan):
         self.compress_transfer = compress_transfer
         self.controller = controller
         self.tenant = tenant
+        # Optional cost-based placement engine (repro.placement): picks
+        # the tier for the columnar filter/projection pushdown the same
+        # way CsvRelation does.
+        self.placement = placement
         # Footer-driven discovery at relation creation, before any query
         # is specified -- the columnar twin of CSV partition discovery.
         self._splits = connector.discover_columnar_partitions(
@@ -486,6 +492,28 @@ class ColumnarRelation(PrunedFilteredScan):
                 and not self.controller.decide(self.tenant, task).push_down
             ):
                 task = None  # dynamic fallback to plain ingest
+            if task is not None and self.placement is not None:
+                column_projection = len(columns) < len(self._schema)
+                kept = 1.0
+                if column_projection:
+                    kept *= len(columns) / len(self._schema)
+                if task.filters:
+                    kept *= 0.5  # prior; refined by run feedback
+                decision = self.placement.decide(
+                    signature=task_signature(
+                        self.container, self.prefix, task
+                    ),
+                    input_bytes=sum(
+                        columnar.split.length for columnar in splits
+                    ),
+                    kept_hint=kept,
+                    row_filtering=bool(task.filters),
+                    column_projection=column_projection,
+                )
+                if decision.tier == "compute":
+                    task = None
+                else:
+                    task.run_on = decision.tier
         return ColumnarScanRDD(
             self.context,
             self.connector,

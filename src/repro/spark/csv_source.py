@@ -24,10 +24,12 @@ from repro.connector.stocator import (
 )
 from repro.core.pushdown import PushdownTask
 from repro.obs.trace import get_collector
+from repro.placement.engine import task_signature
 from repro.sql.filters import Filter, conjunction_predicate
 from repro.sql.types import DataType, Field, Row, Schema
 from repro.spark.datasources import PrunedFilteredScan
 from repro.spark.rdd import RDD
+from repro.storlets.agg_storlet import DEFAULT_MAX_GROUPS
 from repro.storlets.api import StorletInputStream
 from repro.storlets.csv_storlet import _owned_lines, _parse_record
 
@@ -307,6 +309,8 @@ class CsvRelation(PrunedFilteredScan):
         compress_transfer: bool = False,
         controller=None,
         tenant: str = "default",
+        placement=None,
+        agg_pushdown: Optional[bool] = None,
     ):
         self.context = context
         self.connector = connector
@@ -323,6 +327,16 @@ class CsvRelation(PrunedFilteredScan):
         # under storage pressure or for ineffective filters.
         self.controller = controller
         self.tenant = tenant
+        # Optional cost-based placement engine (repro.placement): when
+        # set, every scan asks it which tier should run the pushdown
+        # work (object node / proxy / compute side) instead of using the
+        # fixed ``run_on`` knob.  GROUP-BY pushdown defaults to
+        # following the engine's presence, since partial aggregation is
+        # only worth planning when placement is a decision.
+        self.placement = placement
+        if agg_pushdown is None:
+            agg_pushdown = placement is not None
+        self.agg_pushdown = agg_pushdown
         if schema is None:
             schema = infer_csv_schema(
                 connector, container, prefix, has_header, delimiter
@@ -378,6 +392,8 @@ class CsvRelation(PrunedFilteredScan):
                 and not self.controller.decide(self.tenant, task).push_down
             ):
                 task = None  # dynamic fallback to plain ingest
+            if task is not None and self.placement is not None:
+                task = self._place_task(task, splits)
         return CsvScanRDD(
             self.context,
             self.connector,
@@ -394,6 +410,96 @@ class CsvRelation(PrunedFilteredScan):
 
     def build_scan(self) -> RDD:
         return self.build_scan_filtered(self._schema.names, [])
+
+    # -- cost-based placement ----------------------------------------------
+
+    def _place_task(
+        self, task: PushdownTask, splits: Sequence[ObjectSplit]
+    ) -> Optional[PushdownTask]:
+        """Ask the placement engine which tier should run ``task``.
+
+        Returns the task re-targeted at the chosen tier, or ``None``
+        when the engine decides the compute side should do the work
+        (plain ingest; the executor re-applies filters over scan rows).
+        """
+        column_projection = task.columns is not None and len(
+            task.columns
+        ) < len(self._schema)
+        kept = 1.0
+        if column_projection:
+            kept *= len(task.columns) / len(self._schema)
+        if task.filters:
+            kept *= 0.5  # prior; the feedback loop refines this
+        decision = self.placement.decide(
+            signature=task_signature(self.container, self.prefix, task),
+            input_bytes=sum(split.length for split in splits),
+            kept_hint=kept,
+            row_filtering=bool(task.filters),
+            column_projection=column_projection,
+            aggregation=task.aggregation is not None,
+        )
+        if decision.tier == "compute":
+            return None
+        task.run_on = decision.tier
+        return task
+
+    # -- GROUP-BY pushdown -------------------------------------------------
+
+    def build_aggregation_scan(
+        self, plan, max_groups: int = DEFAULT_MAX_GROUPS
+    ) -> Optional[RDD]:
+        """Build the tagged-partial aggregation scan for ``plan`` (an
+        :class:`~repro.core.agg_pushdown.AggregationPlan`), or ``None``
+        when this relation should stay on the ordinary scan path.
+
+        GROUP-BY pushdown is gated on ``agg_pushdown`` (which defaults
+        to "a placement engine is present") and rides the same
+        controller / placement decisions as filter pushdown: the
+        controller can veto it under storage pressure, and the placement
+        engine picks the tier -- including sending it compute-side,
+        which also returns ``None``.
+        """
+        if not (self.pushdown and self.agg_pushdown):
+            return None
+        splits = self.connector.catalog_filter_splits(
+            self._splits, list(plan.filters)
+        )
+        task = PushdownTask(
+            schema=self._schema,
+            columns=None,
+            filters=list(plan.filters),
+            has_header=self.has_header,
+            delimiter=self.delimiter,
+            storlet="aggstorlet",
+            run_on=self.run_on,
+            aggregation=plan.spec.to_json(),
+            max_groups=max_groups,
+        )
+        if (
+            self.controller is not None
+            and not self.controller.decide(self.tenant, task).push_down
+        ):
+            return None
+        if self.placement is not None:
+            placed = self._place_task(task, splits)
+            if placed is None:
+                return None
+            task = placed
+        # Imported here: agg_source imports CsvScanRDD from this module
+        # (its degradation path), so a top-level import would cycle.
+        from repro.spark.agg_source import AggregationScanRDD
+
+        return AggregationScanRDD(
+            self.context,
+            self.connector,
+            splits,
+            plan,
+            self._schema,
+            task,
+            self.has_header,
+            self.delimiter,
+            max_groups=max_groups,
+        )
 
 
 def infer_csv_schema(

@@ -12,6 +12,10 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.core.agg_pushdown import (
+    merge_tagged_records,
+    plan_aggregation_pushdown,
+)
 from repro.sql.catalyst import (
     Optimizer,
     PushdownSpec,
@@ -136,6 +140,10 @@ class SparkSession:
         spec = extract_pushdown(query, base_schema)
         self.last_pushdown = spec
 
+        aggregated = self._try_aggregation_pushdown(query, relation, base_schema)
+        if aggregated is not None:
+            return aggregated
+
         rdd, scan_schema = self._plan_scan(relation, base_schema, spec)
         plan = Optimizer().optimize(build_logical_plan(query, scan_schema))
         # The scan streams: the executor pulls record batches through the
@@ -156,6 +164,33 @@ class SparkSession:
                 return result
         return execute_plan(
             plan, lambda: self.context.iter_rows(rdd), scan_schema
+        )
+
+    def _try_aggregation_pushdown(
+        self, query: Query, relation: BaseRelation, base_schema: Schema
+    ) -> Optional[Tuple[Schema, List[Row]]]:
+        """Run the whole query via GROUP-BY pushdown, when possible.
+
+        Three gates, all conservative: the relation must offer
+        ``build_aggregation_scan`` (and not veto it -- the flag, the
+        controller and the placement engine all can), the query must be
+        expressible as mergeable partial states
+        (:func:`~repro.core.agg_pushdown.plan_aggregation_pushdown`
+        returns ``None`` otherwise), and any failure to build the scan
+        falls through to the ordinary row path, which computes the same
+        answer compute-side.
+        """
+        builder = getattr(relation, "build_aggregation_scan", None)
+        if builder is None:
+            return None
+        plan = plan_aggregation_pushdown(query, base_schema, exact_types=True)
+        if plan is None:
+            return None
+        rdd = builder(plan)
+        if rdd is None:
+            return None
+        return merge_tagged_records(
+            plan, self.context.iter_rows(rdd), base_schema
         )
 
     def _plan_scan(
@@ -223,6 +258,8 @@ def _csv_provider(session: SparkSession, path: str, options: Dict[str, Any]):
         pushdown=_truthy(options.get("pushdown", True)),
         storlet_name=options.get("storlet", "csvstorlet"),
         run_on=options.get("run_on", "object"),
+        placement=options.get("placement"),
+        agg_pushdown=options.get("agg_pushdown"),
     )
 
 
@@ -246,6 +283,7 @@ def _columnar_provider(
         pushdown=_truthy(options.get("pushdown", True)),
         storlet_name=options.get("storlet", "columnarstorlet"),
         run_on=options.get("run_on", "object"),
+        placement=options.get("placement"),
     )
 
 

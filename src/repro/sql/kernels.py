@@ -574,3 +574,40 @@ def compile_filters(
         return [i for i, v in enumerate(combined) if v]
 
     return selection
+
+
+def compile_group_kernels(
+    group_by: Sequence[str],
+    aggregate_args: Sequence[str],
+    schema: Schema,
+) -> Optional[Sequence[Sequence[VectorKernel]]]:
+    """Lower a grouped aggregation's expressions into batch kernels.
+
+    ``group_by`` and ``aggregate_args`` are expression strings in the
+    SQL dialect (the :class:`~repro.storlets.agg_storlet.AggregationSpec`
+    wire format); an aggregate argument of ``"*"`` means COUNT(*)-style
+    input and lowers to a constant-one vector.  Returns
+    ``(key_kernels, input_kernels)`` when *every* expression compiles
+    (same totality proof as :func:`compile_expression`), else ``None``
+    so the caller stays on the row path.  Shared by the aggregating
+    storlet's vectorized path and its compute-side degradation twin,
+    which is what keeps the two streams value-identical.
+    """
+    from repro.sql.parser import parse_expression
+
+    key_kernels: List[VectorKernel] = []
+    for text in group_by:
+        kernel = compile_expression(parse_expression(text), schema)
+        if kernel is None:
+            return None
+        key_kernels.append(kernel)
+    input_kernels: List[VectorKernel] = []
+    for text in aggregate_args:
+        if text.strip() == "*":
+            input_kernels.append(lambda cols, n: [1] * n)
+            continue
+        kernel = compile_expression(parse_expression(text), schema)
+        if kernel is None:
+            return None
+        input_kernels.append(kernel)
+    return key_kernels, input_kernels

@@ -59,6 +59,15 @@ MERGEABLE_AGGREGATES = (
     "last_value",
 )
 
+#: Default bound on the storlet-side group hash table.  Groups beyond
+#: the bound are not aggregated at the store: their rows pass through
+#: as tagged raw records and the compute side folds them in (the
+#: spill-to-compute fallback, bounding storlet memory to O(max_groups)).
+DEFAULT_MAX_GROUPS = 4096
+
+#: Rows buffered per kernel batch on the vectorized path.
+AGG_BATCH_ROWS = 512
+
 
 class AggregationSpec:
     """A serializable grouped-aggregation task.
@@ -193,6 +202,178 @@ class _PartialState:
                 rendered.append(encode_partial_value(state["value"]))
         return rendered
 
+    # -- typed (v2) codec -------------------------------------------------
+
+    def typed_fields(self) -> List[List[Any]]:
+        """Partial state as JSON-safe typed values (one list per
+        aggregate), preserving int-vs-float exactly -- unlike the legacy
+        CSV text encoding, this round-trips the accumulator types so the
+        merged result matches the compute-side oracle bit for bit."""
+        rendered: List[List[Any]] = []
+        for state in self.states:
+            kind = state["kind"]
+            if kind == "count":
+                rendered.append([state["count"]])
+            elif kind == "avg":
+                rendered.append([state["total"], state["count"]])
+            elif kind in ("first_value", "last_value"):
+                rendered.append([state["seen"], state["value"]])
+            else:
+                rendered.append([state["value"]])
+        return rendered
+
+    def merge_typed(self, fields: Sequence[Sequence[Any]]) -> None:
+        """Fold another partial state (as :meth:`typed_fields`) into this
+        one, mirroring the executor's accumulator semantics exactly."""
+        for state, incoming in zip(self.states, fields):
+            kind = state["kind"]
+            if kind == "sum":
+                value = incoming[0]
+                if value is not None:
+                    state["value"] = (
+                        value
+                        if state["value"] is None
+                        else state["value"] + value
+                    )
+            elif kind == "count":
+                state["count"] += int(incoming[0])
+            elif kind == "min":
+                value = incoming[0]
+                if value is not None and (
+                    state["value"] is None or value < state["value"]
+                ):
+                    state["value"] = value
+            elif kind == "max":
+                value = incoming[0]
+                if value is not None and (
+                    state["value"] is None or value > state["value"]
+                ):
+                    state["value"] = value
+            elif kind == "avg":
+                state["total"] += incoming[0]
+                state["count"] += int(incoming[1])
+            elif kind == "first_value":
+                seen, value = incoming
+                if seen and not state["seen"]:
+                    state["seen"] = True
+                    state["value"] = value
+            elif kind == "last_value":
+                seen, value = incoming
+                if seen:
+                    state["seen"] = True
+                    state["value"] = value
+
+    def typed_results(self) -> List[Any]:
+        """Final aggregate values, identical to what the executor's
+        accumulators would have returned over the same rows."""
+        outputs: List[Any] = []
+        for state in self.states:
+            kind = state["kind"]
+            if kind == "count":
+                outputs.append(state["count"])
+            elif kind == "avg":
+                outputs.append(
+                    state["total"] / state["count"] if state["count"] else None
+                )
+            else:
+                outputs.append(state["value"])
+        return outputs
+
+
+def tagged_partial_aggregate(
+    rows,
+    spec: AggregationSpec,
+    schema: Schema,
+    max_groups: int = DEFAULT_MAX_GROUPS,
+    batch_rows: int = AGG_BATCH_ROWS,
+):
+    """The v2 partial-aggregation record stream over typed rows.
+
+    Yields, in a deterministic order shared by the storlet and its
+    compute-side degradation twin:
+
+    * ``("r", ordinal, row)`` inline for each row whose group did NOT
+      fit in the bounded hash table (spill-to-compute) -- ``ordinal`` is
+      the row's 0-based position in the filtered input stream;
+    * ``("p", first_ordinal, key, states)`` per aggregated group at end
+      of input, in first-seen order, where ``states`` is the group's
+      :meth:`_PartialState.typed_fields`.
+
+    A group either aggregates fully or spills fully within one input
+    stream: the table fills in first-seen order, so a key seen before
+    the table filled keeps accumulating while a key first seen after
+    spills every one of its rows.  Key and aggregate-input expressions
+    are evaluated through compile-once batch kernels
+    (:func:`repro.sql.kernels.compile_group_kernels`) when every
+    expression provably lowers, else row by row -- both produce
+    value-identical streams.
+    """
+    from repro.sql.kernels import compile_group_kernels
+
+    compiled = compile_group_kernels(
+        spec.group_by, [arg for _name, arg in spec.aggregates], schema
+    )
+    groups: Dict[Tuple, _PartialState] = {}
+    order: List[Tuple] = []
+    first_seen: Dict[Tuple, int] = {}
+    ordinal = 0
+
+    def feed(key: Tuple, values: List[Any], row: Tuple):
+        nonlocal ordinal
+        state = groups.get(key)
+        record = None
+        if state is None:
+            if len(groups) >= max_groups:
+                record = ("r", ordinal, tuple(row))
+            else:
+                state = _PartialState(spec)
+                groups[key] = state
+                order.append(key)
+                first_seen[key] = ordinal
+        if state is not None:
+            state.add(values)
+        ordinal += 1
+        return record
+
+    if compiled is None:
+        key_evals, input_evals = spec.bind(schema)
+        for row in rows:
+            key = tuple(evaluate(row) for evaluate in key_evals)
+            values = [evaluate(row) for evaluate in input_evals]
+            record = feed(key, values, row)
+            if record is not None:
+                yield record
+    else:
+        key_kernels, input_kernels = compiled
+        batch: List[Tuple] = []
+        rows_iter = iter(rows)
+        while True:
+            batch.clear()
+            for row in rows_iter:
+                batch.append(tuple(row))
+                if len(batch) >= batch_rows:
+                    break
+            if not batch:
+                break
+            n = len(batch)
+            columns = list(zip(*batch))
+            key_vectors = [kernel(columns, n) for kernel in key_kernels]
+            input_vectors = [kernel(columns, n) for kernel in input_kernels]
+            for i in range(n):
+                key = tuple(vector[i] for vector in key_vectors)
+                values = [vector[i] for vector in input_vectors]
+                record = feed(key, values, batch[i])
+                if record is not None:
+                    yield record
+
+    for key in order:
+        yield (
+            "p",
+            first_seen[key],
+            key,
+            tuple(tuple(part) for part in groups[key].typed_fields()),
+        )
+
 
 class AggregatingStorlet(IStorlet):
     """Grouped partial aggregation over a (range of a) CSV object.
@@ -203,6 +384,13 @@ class AggregatingStorlet(IStorlet):
 
     Output: one CSV row per group -- group key fields followed by each
     aggregate's partial state fields.
+
+    With ``partials=json`` the storlet switches to the v2 tagged
+    protocol instead: one JSON line per :func:`tagged_partial_aggregate`
+    record (typed values, so int-vs-float survives the wire), honoring
+    the ``max_groups`` spill bound and the vectorized kernel path.  This
+    is the protocol the integrated scheduler path
+    (:class:`~repro.spark.agg_source.AggregationScanRDD`) speaks.
     """
 
     name = "aggstorlet"
@@ -235,6 +423,24 @@ class AggregatingStorlet(IStorlet):
         range_len_text = parameters.get("range_len")
         range_len = int(range_len_text) if range_len_text else None
         has_header = parameters.get("has_header", "false") == "true"
+
+        if parameters.get("partials") == "json":
+            self._invoke_tagged(
+                in_stream,
+                out_stream,
+                logger,
+                spec=spec,
+                schema=schema,
+                predicate=predicate,
+                delimiter=delimiter,
+                range_start=range_start,
+                range_len=range_len,
+                has_header=has_header,
+                max_groups=int(
+                    parameters.get("max_groups", DEFAULT_MAX_GROUPS)
+                ),
+            )
+            return
 
         groups: Dict[Tuple, _PartialState] = {}
         order: List[Tuple] = []
@@ -280,6 +486,75 @@ class AggregatingStorlet(IStorlet):
             f"aggstorlet: {rows_in} rows aggregated into {len(order)} groups"
         )
         out_stream.close()
+
+    def _invoke_tagged(
+        self,
+        in_stream: StorletInputStream,
+        out_stream: StorletOutputStream,
+        logger: StorletLogger,
+        *,
+        spec: AggregationSpec,
+        schema: Schema,
+        predicate,
+        delimiter: str,
+        range_start: int,
+        range_len: Optional[int],
+        has_header: bool,
+        max_groups: int,
+    ) -> None:
+        """The v2 path: stream tagged JSON records for this byte range."""
+
+        def typed_rows():
+            first = True
+            for raw_line in _owned_lines(in_stream, range_start, range_len):
+                if first:
+                    first = False
+                    if range_start == 0 and has_header:
+                        continue
+                fields = _parse_record(raw_line, delimiter)
+                if fields is None or len(fields) != len(schema):
+                    continue
+                try:
+                    row = schema.parse_row(fields)
+                except (ValueError, TypeError):
+                    continue
+                if predicate is not None and not predicate(row):
+                    continue
+                yield row
+
+        partials = 0
+        spilled = 0
+        for record in tagged_partial_aggregate(
+            typed_rows(), spec, schema, max_groups=max_groups
+        ):
+            if record[0] == "p":
+                partials += 1
+            else:
+                spilled += 1
+            out_stream.write(
+                json.dumps(
+                    [record[0], record[1], *map(_json_safe, record[2:])],
+                    separators=(",", ":"),
+                ).encode("utf-8")
+                + b"\n"
+            )
+        out_stream.set_metadata(
+            {
+                "x-object-meta-storlet-groups-out": str(partials),
+                "x-object-meta-storlet-rows-spilled": str(spilled),
+            }
+        )
+        logger.emit(
+            f"aggstorlet: {partials} partial groups, {spilled} spilled rows"
+        )
+        out_stream.close()
+
+
+def _json_safe(value: Any) -> Any:
+    """Tuples to lists for the wire (JSON has no tuple type)."""
+    if isinstance(value, tuple):
+        return [_json_safe(part) for part in value]
+    return value
 
 
 # --------------------------------------------------------------------------

@@ -94,7 +94,7 @@ class TestOrchestrator:
     def test_registry_names_are_canonical(self):
         assert experiment_names() == [
             "fig1", "table1", "fig5", "fig6", "fig7", "fig8", "fig9",
-            "fig10", "ablations", "skipping", "workday",
+            "fig10", "ablations", "skipping", "placement", "workday",
         ]
 
     def test_unknown_experiment_raises_with_known_names(self):

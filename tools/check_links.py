@@ -1,0 +1,133 @@
+#!/usr/bin/env python
+"""Check intra-repo markdown links in README.md and docs/.
+
+Stdlib-only (this repo has no dependencies, and CI should not need
+any to lint docs).  For every markdown file checked, each inline link
+or image ``[text](target)`` whose target is *not* an external URL or a
+pure ``#fragment`` must resolve to a file or directory inside the
+repository; when the target carries a ``#heading`` fragment and points
+at a markdown file, the heading must exist in that file (GitHub slug
+rules: lowercase, punctuation stripped, spaces to hyphens).
+
+Usage::
+
+    python tools/check_links.py [files...]
+
+With no arguments, checks ``README.md`` and every ``docs/*.md``
+relative to the repository root (the parent of this script's
+directory).  Exits non-zero listing every broken link.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+from typing import Iterable, List, Tuple
+
+#: Inline markdown links/images: ``[text](target)`` / ``![alt](target)``.
+#: Targets never contain whitespace in this repo's docs, which keeps the
+#: pattern from swallowing prose parentheses.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Schemes that mark a link as external (not checked).
+EXTERNAL = ("http://", "https://", "mailto:")
+
+#: Fenced code blocks, where link-looking text is code, not a link.
+FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def github_slug(heading: str) -> str:
+    """The anchor GitHub generates for a markdown heading."""
+    slug = heading.strip().lower()
+    # Inline code/emphasis markers vanish (underscores stay: in these
+    # docs they are identifiers, not emphasis); then everything that is
+    # not a word character, space or hyphen vanishes; spaces become
+    # hyphens.
+    slug = re.sub(r"[`*]", "", slug)
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def heading_slugs(markdown: str) -> List[str]:
+    """All heading anchors defined in a markdown document."""
+    slugs = []
+    in_fence = False
+    for line in markdown.splitlines():
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if not in_fence and line.startswith("#"):
+            slugs.append(github_slug(line.lstrip("#")))
+    return slugs
+
+
+def iter_links(markdown: str) -> Iterable[str]:
+    """Every inline link target outside fenced code blocks."""
+    in_fence = False
+    for line in markdown.splitlines():
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            yield match.group(1)
+
+
+def check_file(path: pathlib.Path, root: pathlib.Path) -> List[Tuple[str, str]]:
+    """Return ``(target, problem)`` pairs for one markdown file."""
+    problems = []
+    for target in iter_links(path.read_text(encoding="utf-8")):
+        if target.startswith(EXTERNAL):
+            continue
+        if target.startswith("#"):
+            # Same-file fragment.
+            if github_slug(target[1:]) not in heading_slugs(
+                path.read_text(encoding="utf-8")
+            ):
+                problems.append((target, "no such heading in this file"))
+            continue
+        name, _, fragment = target.partition("#")
+        resolved = (path.parent / name).resolve()
+        try:
+            resolved.relative_to(root.resolve())
+        except ValueError:
+            problems.append((target, "escapes the repository"))
+            continue
+        if not resolved.exists():
+            problems.append((target, "no such file"))
+            continue
+        if fragment and resolved.suffix == ".md":
+            slugs = heading_slugs(resolved.read_text(encoding="utf-8"))
+            if fragment not in slugs:
+                problems.append((target, f"no heading #{fragment}"))
+    return problems
+
+
+def default_files(root: pathlib.Path) -> List[pathlib.Path]:
+    """README.md plus every page under docs/."""
+    return [root / "README.md"] + sorted((root / "docs").glob("*.md"))
+
+
+def main(argv: List[str]) -> int:
+    """CLI entry point; returns the exit status."""
+    root = pathlib.Path(__file__).resolve().parent.parent
+    files = (
+        [pathlib.Path(arg) for arg in argv] if argv else default_files(root)
+    )
+    broken = 0
+    for path in files:
+        for target, problem in check_file(path, root):
+            print(f"{path.relative_to(root)}: {target}: {problem}")
+            broken += 1
+    checked = len(files)
+    if broken:
+        print(f"{broken} broken link(s) across {checked} file(s)")
+        return 1
+    print(f"ok: {checked} file(s), no broken intra-repo links")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
