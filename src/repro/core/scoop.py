@@ -447,6 +447,11 @@ class ScoopContext:
             metrics.pushdown_fallbacks,
         )
         skipped_before = len(self.connector.catalog_skipped)
+        decisions_before = (
+            len(self.placement.decisions)
+            if self.placement is not None
+            else 0
+        )
         frame = self.session.sql(text)
         rows = frame.collect()
         report = QueryRunReport(
@@ -463,11 +468,30 @@ class ScoopContext:
         self._last_report = report
         if self.placement is not None:
             # Close the feedback loop: the actual kept fraction of this
-            # run refines the engine's estimate for the same query shape
-            # (no-op when no placement decision was taken for it).
-            self.placement.observe_report(
-                report.bytes_requested, report.bytes_transferred
-            )
+            # run refines the engine's estimate for the same query shape.
+            # Attribution is explicit -- only the decision(s) this very
+            # query produced are candidates, so a run that made no
+            # decision (controller veto, pushdown off) can never pollute
+            # an earlier query's signature.  The byte counts carry a
+            # selectivity signal only when pushdown actually executed on
+            # a storage tier with no plain-ingest fallbacks mixed in;
+            # otherwise bytes_transferred ~= bytes_requested no matter
+            # how selective the query is, and observing would teach the
+            # engine a bogus kept fraction of ~1.0.  Multi-relation
+            # queries take several decisions whose bytes cannot be
+            # apportioned from aggregate counters, so those are skipped
+            # too.
+            new_decisions = self.placement.decisions[decisions_before:]
+            if (
+                len(new_decisions) == 1
+                and report.pushdown_requests > 0
+                and report.pushdown_fallbacks == 0
+            ):
+                self.placement.observe_report(
+                    report.bytes_requested,
+                    report.bytes_transferred,
+                    decision=new_decisions[0],
+                )
         return frame, report
 
     def run_aggregation_query(

@@ -86,10 +86,18 @@ class PlacementCostModel:
         kept = min(1.0, max(0.0, kept_fraction))
         if aggregation:
             kept *= AGGREGATION_KEPT_FACTOR
+        # Coarsen *before* simulating and simulate with the same
+        # bucketed values the memo key uses: every query that lands in a
+        # bucket gets the identical estimate, so placement decisions
+        # near tier-crossover points cannot depend on which exact
+        # arguments happened to populate the bucket first.  The floor
+        # keeps sub-kilobyte scans from bucketing to zero bytes.
+        bucket_bytes = max(1024.0, round(float(input_bytes), -3))
+        bucket_kept = round(kept, 2)
         key = (
             tier,
-            round(float(input_bytes), -3),
-            round(kept, 2),
+            bucket_bytes,
+            bucket_kept,
             row_filtering,
             column_projection or aggregation,
         )
@@ -98,14 +106,14 @@ class PlacementCostModel:
             return cached
         mode = TIER_MODES[tier]
         profile = SelectivityProfile(
-            data_selectivity=1.0 - kept,
+            data_selectivity=1.0 - bucket_kept,
             row_filtering=row_filtering,
             # Aggregation prunes output like a projection does: the
             # storlet re-encodes a narrower stream rather than slicing
             # ranges out of each record.
             column_projection=column_projection or aggregation,
         )
-        result = self.simulation.run(mode, float(input_bytes), profile)
+        result = self.simulation.run(mode, bucket_bytes, profile)
         estimate = TierEstimate(
             tier=tier,
             mode=mode,

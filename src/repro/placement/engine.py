@@ -11,11 +11,15 @@ object before proxy before compute).  The fixed modes (``object`` /
 so a fixed run produces the same explainability surface.
 
 The feedback loop closes through ``observe_report()``: after a query
-runs, the caller reports the actual bytes in/out, the engine converts
-them into an observed kept fraction and folds it into a per-signature
-EWMA.  The next ``decide()`` for the same signature uses the refined
-estimate instead of the planner's prior -- mis-estimated selectivities
-correct themselves after one run.
+runs, the caller reports the actual bytes in/out *for the decision that
+placed it*, the engine converts them into an observed kept fraction and
+folds it into a per-signature EWMA.  The next ``decide()`` for the same
+signature uses the refined estimate instead of the planner's prior --
+mis-estimated selectivities correct themselves after one run.  Only
+runs whose decision put pushdown work on a storage tier carry a
+selectivity signal: a compute-side run transfers every byte by
+definition, so its bytes-out/bytes-in ratio is ~1.0 no matter how
+selective the query really is and must not be folded in.
 """
 
 from __future__ import annotations
@@ -100,7 +104,6 @@ class PlacementEngine:
         self.kept_estimates: Dict[str, float] = {}
         #: Every decision taken, in order (explainability surface).
         self.decisions: List[PlacementDecision] = []
-        self._last_signature: Optional[str] = None
 
     # -- the decision ------------------------------------------------------
 
@@ -152,7 +155,6 @@ class PlacementEngine:
             estimates=estimates,
         )
         self.decisions.append(decision)
-        self._last_signature = signature
         return decision
 
     # -- the feedback loop -------------------------------------------------
@@ -174,20 +176,30 @@ class PlacementEngine:
         self,
         input_bytes: float,
         output_bytes: float,
-        signature: Optional[str] = None,
+        decision: Optional[PlacementDecision] = None,
     ) -> Optional[float]:
-        """Report a finished run's actual byte counts.
+        """Report a finished run's actual byte counts for ``decision``.
 
-        ``signature`` defaults to the last decision's; returns the
-        refined kept fraction, or ``None`` when there is nothing to
-        attribute the observation to (no decision yet, or a zero-byte
-        scan).
+        The caller must pass the decision taken for the query the bytes
+        belong to -- attribution is explicit, never inferred from
+        engine-global "last decision" state, so a query that made no
+        placement decision (controller veto, pushdown off, legacy path)
+        cannot corrupt another signature's estimate.
+
+        Compute-side decisions are ignored: with no pushdown work on a
+        storage tier, ``output_bytes == input_bytes`` regardless of the
+        query's true selectivity, and folding that ~1.0 ratio in would
+        permanently bias the EWMA toward compute for genuinely
+        selective queries.
+
+        Returns the refined kept fraction, or ``None`` when the run
+        carries no signal (no/compute decision, or a zero-byte scan).
         """
-        if signature is None:
-            signature = self._last_signature
-        if signature is None or input_bytes <= 0:
+        if decision is None or decision.tier == "compute":
             return None
-        return self.observe(signature, output_bytes / input_bytes)
+        if input_bytes <= 0:
+            return None
+        return self.observe(decision.signature, output_bytes / input_bytes)
 
     def explain(self) -> Dict[str, object]:
         """A JSON-friendly summary for ``explain_profile()``."""

@@ -97,22 +97,51 @@ class TestEngine:
 
     def test_feedback_refines_estimates(self):
         engine = PlacementEngine(smoothing=0.5)
-        engine.decide("sig", 1e9, kept_hint=0.9)
-        assert engine.observe_report(1000.0, 100.0) == pytest.approx(0.1)
+        decision = engine.decide(
+            "sig", 100e9, kept_hint=0.05, row_filtering=True
+        )
+        assert decision.tier != "compute"
+        refined = engine.observe_report(1000.0, 100.0, decision=decision)
+        assert refined == pytest.approx(0.1)
         # EWMA: 0.5 * 0.3 + 0.5 * 0.1 = 0.2
         assert engine.observe("sig", 0.3) == pytest.approx(0.2)
-        decision = engine.decide("sig", 1e9, kept_hint=0.9)
+        decision = engine.decide("sig", 100e9, kept_hint=0.05)
         assert decision.kept_fraction == pytest.approx(0.2)
 
     def test_observe_report_without_decision_is_noop(self):
         assert PlacementEngine().observe_report(100.0, 10.0) is None
 
+    def test_observe_report_ignores_compute_decisions(self):
+        # A compute-side run transfers every byte, so its ~1.0 ratio
+        # says nothing about the query's real selectivity and must not
+        # enter the EWMA (it would lock adaptive mode onto compute).
+        engine = PlacementEngine(mode="compute")
+        decision = engine.decide("sig", 100e9, kept_hint=0.05)
+        assert engine.observe_report(
+            1000.0, 1000.0, decision=decision
+        ) is None
+        assert "sig" not in engine.kept_estimates
+
+    def test_observe_report_attributes_to_the_passed_decision(self):
+        # Attribution is explicit: reporting bytes for one decision
+        # never touches another signature's estimate, even when a later
+        # decision exists.
+        engine = PlacementEngine()
+        first = engine.decide(
+            "sig-a", 100e9, kept_hint=0.05, row_filtering=True
+        )
+        engine.decide("sig-b", 100e9, kept_hint=0.05, row_filtering=True)
+        engine.observe_report(1000.0, 100.0, decision=first)
+        assert engine.kept_estimates.keys() == {"sig-a"}
+
     def test_explain_is_json_friendly(self):
         import json
 
         engine = PlacementEngine()
-        engine.decide("sig", 1e9, kept_hint=0.5)
-        engine.observe_report(100.0, 50.0)
+        decision = engine.decide(
+            "sig", 100e9, kept_hint=0.05, row_filtering=True
+        )
+        engine.observe_report(100.0, 50.0, decision=decision)
         explained = engine.explain()
         json.dumps(explained)
         assert explained["mode"] == "adaptive"
@@ -158,6 +187,16 @@ class TestContextWiring:
         ctx = build_context(placement="object")
         ctx.run_query("SELECT vid FROM m WHERE index > 4")
         assert ctx.placement.kept_estimates
+
+    def test_compute_runs_do_not_poison_the_feedback_loop(self):
+        # Regression: with work placed compute-side the run transfers
+        # every requested byte, so run_query must not record a kept
+        # fraction of ~1.0 for a selective query -- adaptive mode could
+        # never escape that self-reinforcing mis-estimate.
+        ctx = build_context(placement="compute")
+        _frame, report = ctx.run_query("SELECT vid FROM m WHERE index > 7")
+        assert report.pushdown_requests == 0
+        assert ctx.placement.kept_estimates == {}
 
     def test_explain_profile_has_placement_section(self):
         ctx = build_context(placement="adaptive")
